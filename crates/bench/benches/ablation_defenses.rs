@@ -1,0 +1,16 @@
+//! Regenerates the countermeasure ablation of Section VIII of the paper and benchmarks the runner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated artefact once, so `cargo bench` output contains
+    // the paper-shaped rows alongside the timing.
+    println!("{}", parasite::experiments::ablation_defenses().render());
+    let mut group = c.benchmark_group("ablation_defenses");
+    group.sample_size(10);
+    group.bench_function("ablation_defenses", |b| b.iter(|| criterion::black_box(parasite::experiments::ablation_defenses())));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates the message flows of Figures 1 and 2 and benchmarks the
+//! packet-level injection race they are built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", parasite::experiments::fig1_eviction_flow().render());
+    println!("{}", parasite::experiments::fig2_infection_flow().render());
+    let mut group = c.benchmark_group("fig1_fig2_flows");
+    group.sample_size(10);
+    group.bench_function("fig2_injection_race", |b| {
+        b.iter(|| criterion::black_box(parasite::experiments::run_injection_race(7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

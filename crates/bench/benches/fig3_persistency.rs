@@ -1,0 +1,16 @@
+//! Regenerates Figure 3 (object persistency over 100 days) of the paper and benchmarks the runner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated artefact once, so `cargo bench` output contains
+    // the paper-shaped rows alongside the timing.
+    println!("{}", parasite::experiments::fig3_persistency(1500, 100, 2021).render());
+    let mut group = c.benchmark_group("fig3_persistency");
+    group.sample_size(10);
+    group.bench_function("fig3_persistency", |b| b.iter(|| criterion::black_box(parasite::experiments::fig3_persistency(1500, 100, 2021))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates Figure 4 (C&C covert channel) of the paper and benchmarks the runner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated artefact once, so `cargo bench` output contains
+    // the paper-shaped rows alongside the timing.
+    println!("{}", parasite::experiments::fig4_cnc_channel().render());
+    let mut group = c.benchmark_group("fig4_cnc_channel");
+    group.sample_size(10);
+    group.bench_function("fig4_cnc_channel", |b| b.iter(|| criterion::black_box(parasite::experiments::fig4_cnc_channel())));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates Figure 5 (CSP statistics and adoption numbers) of the paper and benchmarks the runner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated artefact once, so `cargo bench` output contains
+    // the paper-shaped rows alongside the timing.
+    println!("{}", parasite::experiments::fig5_csp_stats(5000, 2021).render());
+    let mut group = c.benchmark_group("fig5_csp_stats");
+    group.sample_size(10);
+    group.bench_function("fig5_csp_stats", |b| b.iter(|| criterion::black_box(parasite::experiments::fig5_csp_stats(5000, 2021))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates Table I (cache eviction per browser) of the paper and benchmarks the runner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated artefact once, so `cargo bench` output contains
+    // the paper-shaped rows alongside the timing.
+    println!("{}", parasite::experiments::table1_cache_eviction(1000).render());
+    let mut group = c.benchmark_group("table1_eviction");
+    group.sample_size(10);
+    group.bench_function("table1_eviction", |b| b.iter(|| criterion::black_box(parasite::experiments::table1_cache_eviction(1000))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates Table II (TCP injection OS x browser matrix) of the paper and benchmarks the runner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated artefact once, so `cargo bench` output contains
+    // the paper-shaped rows alongside the timing.
+    println!("{}", parasite::experiments::table2_injection_matrix().render());
+    let mut group = c.benchmark_group("table2_injection");
+    group.sample_size(10);
+    group.bench_function("table2_injection", |b| b.iter(|| criterion::black_box(parasite::experiments::table2_injection_matrix())));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

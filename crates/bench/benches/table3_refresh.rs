@@ -1,0 +1,16 @@
+//! Regenerates Table III (refresh methods vs Cache-API parasites) of the paper and benchmarks the runner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated artefact once, so `cargo bench` output contains
+    // the paper-shaped rows alongside the timing.
+    println!("{}", parasite::experiments::table3_refresh_methods().render());
+    let mut group = c.benchmark_group("table3_refresh");
+    group.sample_size(10);
+    group.bench_function("table3_refresh", |b| b.iter(|| criterion::black_box(parasite::experiments::table3_refresh_methods())));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

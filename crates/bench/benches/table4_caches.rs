@@ -1,0 +1,16 @@
+//! Regenerates Table IV (caches in the wild) of the paper and benchmarks the runner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated artefact once, so `cargo bench` output contains
+    // the paper-shaped rows alongside the timing.
+    println!("{}", parasite::experiments::table4_caches().render());
+    let mut group = c.benchmark_group("table4_caches");
+    group.sample_size(10);
+    group.bench_function("table4_caches", |b| b.iter(|| criterion::black_box(parasite::experiments::table4_caches())));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates Table V (application attacks) of the paper and benchmarks the runner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated artefact once, so `cargo bench` output contains
+    // the paper-shaped rows alongside the timing.
+    println!("{}", parasite::experiments::table5_attacks().render());
+    let mut group = c.benchmark_group("table5_attacks");
+    group.sample_size(10);
+    group.bench_function("table5_attacks", |b| b.iter(|| criterion::black_box(parasite::experiments::table5_attacks())));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Prints every regenerated table and figure of the paper.
+
+fn main() {
+    println!("{}", mp_bench::full_report());
+}

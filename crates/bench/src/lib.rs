@@ -1,0 +1,57 @@
+//! # mp-bench
+//!
+//! Benchmark and experiment harness for the *Master and Parasite Attack*
+//! reproduction. The Criterion benches under `benches/` regenerate every
+//! table and figure of the paper (printing the paper-shaped rows once, then
+//! measuring the hot path), and the `paper-report` binary prints the full set
+//! of artefacts in one run:
+//!
+//! ```text
+//! cargo run -p mp-bench --bin paper-report
+//! cargo bench -p mp-bench
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Renders every table and figure of the paper into one report string.
+pub fn full_report() -> String {
+    use parasite::experiments as exp;
+    let mut out = String::new();
+    out.push_str(&exp::table1_cache_eviction(1000).render());
+    out.push('\n');
+    out.push_str(&exp::table2_injection_matrix().render());
+    out.push('\n');
+    out.push_str(&exp::table3_refresh_methods().render());
+    out.push('\n');
+    out.push_str(&exp::table4_caches().render());
+    out.push('\n');
+    out.push_str(&exp::table5_attacks().render());
+    out.push('\n');
+    out.push_str(&exp::fig1_eviction_flow().render());
+    out.push('\n');
+    out.push_str(&exp::fig2_infection_flow().render());
+    out.push('\n');
+    out.push_str(&exp::fig3_persistency(3000, 100, 2021).render());
+    out.push('\n');
+    out.push_str(&exp::fig4_cnc_channel().render());
+    out.push('\n');
+    out.push_str(&exp::fig5_csp_stats(15_000, 2021).render());
+    out.push('\n');
+    out.push_str(&exp::ablation_defenses().render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn full_report_mentions_every_artifact() {
+        let report = super::full_report();
+        for needle in [
+            "Table I", "Table II", "Table III", "Table IV", "Table V",
+            "Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+            "ablation",
+        ] {
+            assert!(report.contains(needle), "report is missing {needle}");
+        }
+    }
+}

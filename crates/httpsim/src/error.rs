@@ -1,0 +1,71 @@
+//! Error type for HTTP parsing and processing.
+
+use std::fmt;
+
+/// Errors produced while parsing or processing HTTP artefacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HttpError {
+    /// A URL could not be parsed.
+    InvalidUrl {
+        /// The offending input.
+        input: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// An HTTP message could not be parsed from its wire form.
+    MalformedMessage {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A header value was syntactically invalid for its header.
+    InvalidHeaderValue {
+        /// Header name.
+        name: String,
+        /// Offending value.
+        value: String,
+    },
+    /// A request targeted a scheme the peer does not serve.
+    UnsupportedScheme(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::InvalidUrl { input, reason } => {
+                write!(f, "invalid url {input:?}: {reason}")
+            }
+            HttpError::MalformedMessage { reason } => write!(f, "malformed http message: {reason}"),
+            HttpError::InvalidHeaderValue { name, value } => {
+                write!(f, "invalid value for header {name}: {value:?}")
+            }
+            HttpError::UnsupportedScheme(scheme) => write!(f, "unsupported scheme: {scheme}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let err = HttpError::InvalidUrl {
+            input: "ht!tp://".into(),
+            reason: "bad scheme".into(),
+        };
+        assert!(err.to_string().contains("bad scheme"));
+        let err = HttpError::MalformedMessage {
+            reason: "missing request line".into(),
+        };
+        assert!(err.to_string().contains("missing request line"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HttpError>();
+    }
+}

@@ -1,0 +1,50 @@
+//! # mp-httpsim
+//!
+//! HTTP/1.1 message, caching-semantics and web-security-policy models used by
+//! the *Master and Parasite Attack* reproduction.
+//!
+//! The attack lives entirely at the HTTP layer once the transport injection
+//! has happened: the parasite's persistence depends on `Cache-Control`
+//! headers, its cross-domain propagation depends on the absence of CSP/SRI,
+//! and its injectability depends on whether the site uses HTTPS, vulnerable
+//! SSL versions or is missing HSTS. This crate models each of those pieces
+//! faithfully enough that the paper's measurements (§V discussion, §VIII and
+//! Figure 5) can be regenerated:
+//!
+//! * [`url`] — origins and URLs (the unit of the Same Origin Policy),
+//! * [`message`] — requests and responses with full header access and an
+//!   HTTP/1.1 wire form that can travel over `mp-netsim` TCP connections,
+//! * [`headers`] — a case-insensitive header map,
+//! * [`caching`] — RFC 7234-style freshness, validators and conditional
+//!   requests (the machinery the parasite abuses to pin itself in caches),
+//! * [`cookies`] — a cookie jar (Table III: parasites survive cache clearing
+//!   but are removed together with cookies/site data),
+//! * [`tls`] — TLS/SSL version and certificate model,
+//! * [`hsts`] — HSTS policies, the preload list and SSL stripping,
+//! * [`csp`] — Content-Security-Policy parsing and enforcement,
+//! * [`sri`] — Subresource Integrity digests,
+//! * [`body`] — resource kinds (HTML, JavaScript, images, SVG) and bodies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod body;
+pub mod caching;
+pub mod cookies;
+pub mod csp;
+pub mod error;
+pub mod headers;
+pub mod hsts;
+pub mod message;
+pub mod sri;
+pub mod tls;
+pub mod transport;
+pub mod url;
+
+pub use body::{Body, ResourceKind};
+pub use caching::{CacheDirectives, Freshness};
+pub use error::HttpError;
+pub use headers::HeaderMap;
+pub use message::{Method, Request, Response, StatusCode};
+pub use transport::{Exchange, Internet, StaticOrigin};
+pub use url::{Origin, Scheme, Url};

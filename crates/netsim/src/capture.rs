@@ -1,0 +1,190 @@
+//! Packet capture and message-flow traces.
+//!
+//! The paper illustrates its attack phases with message-sequence diagrams
+//! (Figures 1, 2 and 4). The simulator records every transmission in a
+//! [`Trace`] so the experiment harness can regenerate those flows as text.
+
+use crate::packet::Packet;
+use crate::time::Instant;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One transmission recorded by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulated time at which the packet left its sender.
+    pub sent_at: Instant,
+    /// Simulated time at which the packet reaches its destination.
+    pub delivered_at: Instant,
+    /// Human-readable sender name ("victim", "master", "server", ...).
+    pub from: String,
+    /// Human-readable receiver name.
+    pub to: String,
+    /// Whether the packet was injected by an attacker tap.
+    pub injected: bool,
+    /// The packet itself.
+    pub packet: Packet,
+}
+
+impl TraceEvent {
+    /// Returns a short one-line description, in the style of the paper's
+    /// figures: legitimate traffic is labelled plainly, attack traffic is
+    /// marked.
+    pub fn describe(&self) -> String {
+        let marker = if self.injected { " [ATTACK]" } else { "" };
+        let payload = String::from_utf8_lossy(&self.packet.segment.payload);
+        let first_line = payload.lines().next().unwrap_or("").trim();
+        if first_line.is_empty() {
+            format!(
+                "{} {} -> {}: {}{}",
+                self.delivered_at, self.from, self.to, self.packet.segment.flags, marker
+            )
+        } else {
+            format!(
+                "{} {} -> {}: {} \"{}\"{}",
+                self.delivered_at,
+                self.from,
+                self.to,
+                self.packet.segment.flags,
+                truncate(first_line, 60),
+                marker
+            )
+        }
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..max])
+    }
+}
+
+/// An ordered log of every packet transmission in a simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Returns all recorded events in transmission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded transmissions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no transmissions were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Returns only attacker-injected transmissions.
+    pub fn injected(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(|e| e.injected)
+    }
+
+    /// Returns only transmissions carrying application payload.
+    pub fn with_payload(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| !e.packet.segment.payload.is_empty())
+    }
+
+    /// Total payload bytes transferred between the named endpoints
+    /// (either direction).
+    pub fn bytes_between(&self, a: &str, b: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| (e.from == a && e.to == b) || (e.from == b && e.to == a))
+            .map(|e| e.packet.segment.payload.len())
+            .sum()
+    }
+
+    /// Renders the trace as a textual message-sequence diagram, one line per
+    /// payload-bearing or flagged transmission, matching the structure of the
+    /// paper's Figures 1 and 2.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&event.describe());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Clears the trace.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::IpAddr;
+    use crate::packet::Segment;
+    use crate::seq::SeqNum;
+
+    fn event(from: &str, to: &str, payload: &[u8], injected: bool) -> TraceEvent {
+        let seg = Segment::data(1000, 80, SeqNum::new(1), SeqNum::new(1), payload.to_vec());
+        TraceEvent {
+            sent_at: Instant::from_micros(10),
+            delivered_at: Instant::from_micros(20),
+            from: from.into(),
+            to: to.into(),
+            injected,
+            packet: Packet::new(IpAddr::new(1, 1, 1, 1), IpAddr::new(2, 2, 2, 2), seg),
+        }
+    }
+
+    #[test]
+    fn describe_marks_attack_traffic() {
+        let legit = event("victim", "server", b"GET / HTTP/1.1", false);
+        let attack = event("master", "victim", b"HTTP/1.1 200 OK", true);
+        assert!(!legit.describe().contains("[ATTACK]"));
+        assert!(attack.describe().contains("[ATTACK]"));
+        assert!(attack.describe().contains("HTTP/1.1 200 OK"));
+    }
+
+    #[test]
+    fn trace_filters_and_counts() {
+        let mut trace = Trace::new();
+        trace.push(event("victim", "server", b"GET /a", false));
+        trace.push(event("master", "victim", b"HTTP/1.1 200 OK", true));
+        trace.push(event("server", "victim", b"", false));
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.injected().count(), 1);
+        assert_eq!(trace.with_payload().count(), 2);
+        assert_eq!(trace.bytes_between("victim", "server"), 6);
+        let rendering = trace.render();
+        assert_eq!(rendering.lines().count(), 3);
+    }
+
+    #[test]
+    fn long_payload_lines_are_truncated() {
+        let long = vec![b'a'; 200];
+        let e = event("a", "b", &long, false);
+        assert!(e.describe().len() < 200);
+    }
+}

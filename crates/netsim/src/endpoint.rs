@@ -1,0 +1,398 @@
+//! Hosts: endpoints with a socket-like TCP API.
+//!
+//! A [`Host`] owns a set of [`TcpConnection`]s and demultiplexes incoming
+//! packets onto them. Server hosts can attach a [`Service`] that is invoked
+//! whenever new application data arrives; the service's reply bytes are sent
+//! back on the same connection by the simulator.
+
+use crate::addr::{IpAddr, SocketAddr};
+use crate::error::NetError;
+use crate::link::MediumId;
+use crate::packet::{Packet, Segment};
+use crate::seq::SeqNum;
+use crate::tcp::{AcceptOutcome, TcpConnection, TcpState};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a host within a simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub u64);
+
+/// Identifier of a TCP connection within a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+/// Application logic attached to a server host.
+///
+/// The simulator calls [`Service::on_data`] whenever new contiguous bytes
+/// arrive on a connection to a listening port; every returned byte vector is
+/// transmitted back to the peer as application data, and the service's
+/// processing delay is applied before the reply leaves the host.
+pub trait Service: Send {
+    /// Handles newly arrived request bytes and returns response chunks.
+    fn on_data(&mut self, conn: ConnId, data: &[u8]) -> Vec<Vec<u8>>;
+
+    /// Server-side think time applied before responses are emitted.
+    fn processing_delay(&self) -> crate::time::Duration {
+        crate::time::Duration::from_micros(200)
+    }
+}
+
+/// Outcome of delivering one packet to a host, reported to the simulator.
+#[derive(Debug, Default)]
+pub struct DeliveryResult {
+    /// Segments the host wants transmitted in response (ACKs, SYN-ACKs, RSTs).
+    pub responses: Vec<Segment>,
+    /// Connections on which new application data became available.
+    pub data_ready: Vec<ConnId>,
+    /// What the TCP layer did with the payload (for measurement).
+    pub outcome: Option<AcceptOutcome>,
+}
+
+/// A simulated host.
+pub struct Host {
+    id: HostId,
+    name: String,
+    ip: IpAddr,
+    medium: MediumId,
+    connections: HashMap<ConnId, TcpConnection>,
+    /// Demultiplexing table: (local port, remote endpoint) -> connection.
+    demux: HashMap<(u16, SocketAddr), ConnId>,
+    listeners: Vec<u16>,
+    next_conn: u64,
+    next_ephemeral_port: u16,
+    next_iss: u32,
+    service: Option<Box<dyn Service>>,
+}
+
+impl fmt::Debug for Host {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Host")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("ip", &self.ip)
+            .field("connections", &self.connections.len())
+            .field("listeners", &self.listeners)
+            .finish()
+    }
+}
+
+impl Host {
+    /// Creates a host attached to `medium`.
+    pub fn new(id: HostId, name: impl Into<String>, ip: IpAddr, medium: MediumId) -> Self {
+        Host {
+            id,
+            name: name.into(),
+            ip,
+            medium,
+            connections: HashMap::new(),
+            demux: HashMap::new(),
+            listeners: Vec::new(),
+            next_conn: 1,
+            next_ephemeral_port: 49152,
+            // Deterministic but distinct per host so sequence numbers differ.
+            next_iss: ip.to_u32().wrapping_mul(2654435761),
+            service: None,
+        }
+    }
+
+    /// Host identifier.
+    pub fn id(&self) -> HostId {
+        self.id
+    }
+
+    /// Host name (for traces).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Host IP address.
+    pub fn ip(&self) -> IpAddr {
+        self.ip
+    }
+
+    /// Medium the host is attached to.
+    pub fn medium(&self) -> MediumId {
+        self.medium
+    }
+
+    /// Attaches an application service (server behaviour) to the host.
+    pub fn set_service(&mut self, service: Box<dyn Service>) {
+        self.service = Some(service);
+    }
+
+    /// Returns a mutable reference to the attached service, if any.
+    pub fn service_mut(&mut self) -> Option<&mut Box<dyn Service>> {
+        self.service.as_mut()
+    }
+
+    /// Starts listening on a TCP port.
+    pub fn listen(&mut self, port: u16) {
+        if !self.listeners.contains(&port) {
+            self.listeners.push(port);
+        }
+    }
+
+    /// Returns `true` if the host listens on `port`.
+    pub fn is_listening(&self, port: u16) -> bool {
+        self.listeners.contains(&port)
+    }
+
+    fn alloc_conn_id(&mut self) -> ConnId {
+        let id = ConnId(self.next_conn);
+        self.next_conn += 1;
+        id
+    }
+
+    fn alloc_iss(&mut self) -> SeqNum {
+        // Simple deterministic ISS generator; good enough for a simulator
+        // where the attacker *observes* sequence numbers rather than guessing.
+        self.next_iss = self.next_iss.wrapping_mul(1103515245).wrapping_add(12345);
+        SeqNum::new(self.next_iss)
+    }
+
+    fn alloc_ephemeral_port(&mut self) -> u16 {
+        let port = self.next_ephemeral_port;
+        self.next_ephemeral_port = if port == u16::MAX { 49152 } else { port + 1 };
+        port
+    }
+
+    /// Opens a connection to `remote`, returning the connection id and the
+    /// SYN segment to transmit.
+    pub fn connect(&mut self, remote: SocketAddr) -> (ConnId, Segment) {
+        let local = SocketAddr::new(self.ip, self.alloc_ephemeral_port());
+        let iss = self.alloc_iss();
+        let (conn, syn) = TcpConnection::connect(local, remote, iss);
+        let id = self.alloc_conn_id();
+        self.demux.insert((local.port, remote), id);
+        self.connections.insert(id, conn);
+        (id, syn)
+    }
+
+    /// Sends application data on an established connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownConnection`] for an unknown id and
+    /// [`NetError::InvalidState`] if the connection is not established.
+    pub fn send(&mut self, conn: ConnId, data: &[u8]) -> Result<Vec<Segment>, NetError> {
+        let connection = self
+            .connections
+            .get_mut(&conn)
+            .ok_or(NetError::UnknownConnection(conn.0))?;
+        connection.send(data)
+    }
+
+    /// Closes a connection, returning the FIN segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownConnection`] for an unknown id and
+    /// [`NetError::InvalidState`] if the connection cannot be closed.
+    pub fn close(&mut self, conn: ConnId) -> Result<Segment, NetError> {
+        let connection = self
+            .connections
+            .get_mut(&conn)
+            .ok_or(NetError::UnknownConnection(conn.0))?;
+        connection.close()
+    }
+
+    /// Returns the connection state, if the connection exists.
+    pub fn connection_state(&self, conn: ConnId) -> Option<TcpState> {
+        self.connections.get(&conn).map(|c| c.state())
+    }
+
+    /// Returns the remote endpoint of a connection.
+    pub fn connection_remote(&self, conn: ConnId) -> Option<SocketAddr> {
+        self.connections.get(&conn).map(|c| c.remote())
+    }
+
+    /// Returns the local endpoint of a connection.
+    pub fn connection_local(&self, conn: ConnId) -> Option<SocketAddr> {
+        self.connections.get(&conn).map(|c| c.local())
+    }
+
+    /// Returns all application bytes received on a connection so far.
+    pub fn received(&self, conn: ConnId) -> &[u8] {
+        self.connections
+            .get(&conn)
+            .map(|c| c.received())
+            .unwrap_or(&[])
+    }
+
+    /// Returns application bytes that arrived since the previous call.
+    pub fn read_new(&mut self, conn: ConnId) -> Vec<u8> {
+        self.connections
+            .get_mut(&conn)
+            .map(|c| c.read_new())
+            .unwrap_or_default()
+    }
+
+    /// Returns `true` once the connection has completed its handshake.
+    pub fn is_established(&self, conn: ConnId) -> bool {
+        self.connections
+            .get(&conn)
+            .map(|c| c.is_established())
+            .unwrap_or(false)
+    }
+
+    /// Lists ids of all connections on this host.
+    pub fn connection_ids(&self) -> Vec<ConnId> {
+        let mut ids: Vec<ConnId> = self.connections.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Delivers a packet to this host, advancing the owning connection's state
+    /// machine (creating a server-side connection for SYNs to listening ports).
+    pub fn deliver(&mut self, packet: &Packet) -> DeliveryResult {
+        let remote = SocketAddr::new(packet.src_ip, packet.segment.src_port);
+        let local_port = packet.segment.dst_port;
+        let key = (local_port, remote);
+
+        let conn_id = match self.demux.get(&key) {
+            Some(&id) => Some(id),
+            None => {
+                if packet.segment.flags.syn && !packet.segment.flags.ack && self.is_listening(local_port)
+                {
+                    let local = SocketAddr::new(self.ip, local_port);
+                    let iss = self.alloc_iss();
+                    let conn = TcpConnection::listen(local, iss);
+                    let id = self.alloc_conn_id();
+                    self.demux.insert(key, id);
+                    self.connections.insert(id, conn);
+                    Some(id)
+                } else {
+                    None
+                }
+            }
+        };
+
+        let Some(conn_id) = conn_id else {
+            // No matching connection and not a connectable SYN: answer with RST
+            // as a real stack would (unless the stray packet is itself an RST).
+            let mut result = DeliveryResult::default();
+            if !packet.segment.flags.rst {
+                result.responses.push(Segment::control(
+                    local_port,
+                    remote.port,
+                    packet.segment.ack,
+                    packet.segment.seq_end(),
+                    crate::packet::TcpFlags::RST,
+                ));
+            }
+            return result;
+        };
+
+        let connection = self
+            .connections
+            .get_mut(&conn_id)
+            .expect("demuxed connection must exist");
+        let before = connection.received().len();
+        let (responses, outcome) = connection.on_segment(remote, &packet.segment);
+        let after = connection.received().len();
+
+        let mut result = DeliveryResult {
+            responses,
+            data_ready: Vec::new(),
+            outcome: Some(outcome),
+        };
+        if after > before {
+            result.data_ready.push(conn_id);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::TcpFlags;
+
+    fn make_hosts() -> (Host, Host) {
+        let client = Host::new(HostId(1), "client", IpAddr::new(10, 0, 0, 2), MediumId(0));
+        let mut server = Host::new(HostId(2), "server", IpAddr::new(203, 0, 113, 10), MediumId(0));
+        server.listen(80);
+        (client, server)
+    }
+
+    /// Delivers a segment from `from` to `to`, returning the responses.
+    fn ship(from: &Host, to: &mut Host, seg: Segment) -> DeliveryResult {
+        let pkt = Packet::new(from.ip(), to.ip(), seg);
+        to.deliver(&pkt)
+    }
+
+    fn establish(client: &mut Host, server: &mut Host) -> ConnId {
+        let (conn, syn) = client.connect(SocketAddr::new(server.ip(), 80));
+        let r1 = ship(client, server, syn);
+        let r2 = ship(server, client, r1.responses[0].clone());
+        ship(client, server, r2.responses[0].clone());
+        assert!(client.is_established(conn));
+        conn
+    }
+
+    #[test]
+    fn connect_and_exchange_data() {
+        let (mut client, mut server) = make_hosts();
+        let conn = establish(&mut client, &mut server);
+        let segs = client.send(conn, b"GET /index.html HTTP/1.1\r\n\r\n").unwrap();
+        for seg in segs {
+            let result = ship(&client, &mut server, seg);
+            assert!(result.outcome.is_some());
+        }
+        let server_conn = server.connection_ids()[0];
+        assert_eq!(server.received(server_conn), b"GET /index.html HTTP/1.1\r\n\r\n");
+    }
+
+    #[test]
+    fn syn_to_closed_port_gets_rst() {
+        let (client, mut server) = make_hosts();
+        let syn = Segment::control(50000, 8080, SeqNum::new(7), SeqNum::new(0), TcpFlags::SYN);
+        let result = ship(&client, &mut server, syn);
+        assert_eq!(result.responses.len(), 1);
+        assert!(result.responses[0].flags.rst);
+    }
+
+    #[test]
+    fn stray_data_to_unknown_connection_gets_rst() {
+        let (client, mut server) = make_hosts();
+        let data = Segment::data(50001, 80, SeqNum::new(100), SeqNum::new(1), &b"hi"[..]);
+        let result = ship(&client, &mut server, data);
+        assert_eq!(result.responses.len(), 1);
+        assert!(result.responses[0].flags.rst);
+    }
+
+    #[test]
+    fn data_ready_reports_connection_with_new_bytes() {
+        let (mut client, mut server) = make_hosts();
+        let conn = establish(&mut client, &mut server);
+        let segs = client.send(conn, b"ping").unwrap();
+        let result = ship(&client, &mut server, segs[0].clone());
+        assert_eq!(result.data_ready.len(), 1);
+        let sconn = result.data_ready[0];
+        assert_eq!(server.read_new(sconn), b"ping");
+        assert!(server.read_new(sconn).is_empty());
+    }
+
+    #[test]
+    fn ephemeral_ports_are_unique_per_connection() {
+        let (mut client, server) = make_hosts();
+        let (c1, s1) = client.connect(SocketAddr::new(server.ip(), 80));
+        let (c2, s2) = client.connect(SocketAddr::new(server.ip(), 80));
+        assert_ne!(c1, c2);
+        assert_ne!(s1.src_port, s2.src_port);
+    }
+
+    #[test]
+    fn unknown_connection_operations_error() {
+        let (mut client, _server) = make_hosts();
+        assert!(matches!(
+            client.send(ConnId(99), b"x"),
+            Err(NetError::UnknownConnection(99))
+        ));
+        assert!(matches!(
+            client.close(ConnId(99)),
+            Err(NetError::UnknownConnection(99))
+        ));
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for the network simulator.
+
+use std::fmt;
+
+/// Errors returned by the network simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The referenced host does not exist in the simulator.
+    UnknownHost(String),
+    /// The referenced connection does not exist on the host.
+    UnknownConnection(u64),
+    /// The referenced medium/link does not exist.
+    UnknownMedium(u64),
+    /// A connection could not be established (no listener, RST, timeout).
+    ConnectionRefused {
+        /// Destination that refused the connection.
+        destination: String,
+        /// Destination port.
+        port: u16,
+    },
+    /// The connection is not in a state that permits the operation.
+    InvalidState {
+        /// Human readable description of the state conflict.
+        reason: String,
+    },
+    /// The payload exceeds the maximum segment size and cannot be sent as one segment.
+    PayloadTooLarge {
+        /// Requested payload length.
+        len: usize,
+        /// Maximum segment size in effect.
+        mss: usize,
+    },
+    /// The two hosts are not attached to a common medium.
+    NoRoute {
+        /// Source host name.
+        from: String,
+        /// Destination host name.
+        to: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownHost(name) => write!(f, "unknown host: {name}"),
+            NetError::UnknownConnection(id) => write!(f, "unknown connection id {id}"),
+            NetError::UnknownMedium(id) => write!(f, "unknown medium id {id}"),
+            NetError::ConnectionRefused { destination, port } => {
+                write!(f, "connection refused by {destination}:{port}")
+            }
+            NetError::InvalidState { reason } => write!(f, "invalid connection state: {reason}"),
+            NetError::PayloadTooLarge { len, mss } => {
+                write!(f, "payload of {len} bytes exceeds maximum segment size {mss}")
+            }
+            NetError::NoRoute { from, to } => write!(f, "no route from {from} to {to}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = NetError::ConnectionRefused {
+            destination: "example.org".into(),
+            port: 443,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("example.org:443"));
+        assert!(msg.starts_with("connection refused"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetError>();
+    }
+}

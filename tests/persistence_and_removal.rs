@@ -1,0 +1,116 @@
+//! Integration tests for parasite persistence and the removal methods of
+//! Table III, across browser profiles.
+
+use mp_browser::browser::{Browser, FetchSource};
+use mp_browser::profile::BrowserProfile;
+use mp_httpsim::body::{Body, ResourceKind};
+use mp_httpsim::message::Response;
+use mp_httpsim::transport::StaticOrigin;
+use mp_httpsim::url::Url;
+use parasite::experiments::{table3_refresh_methods, RemovalCell};
+use parasite::infect::Infector;
+use parasite::script::Parasite;
+
+fn infector() -> Infector {
+    Infector::new(Parasite::standard("master.attacker.example"))
+}
+
+fn origin_with_persistent_script() -> StaticOrigin {
+    let mut origin = StaticOrigin::new("top1.com");
+    origin.put_text(
+        "/persistent.js",
+        ResourceKind::JavaScript,
+        "function lib(){}",
+        "public, max-age=604800",
+    );
+    origin
+}
+
+fn infected_browser(profile: BrowserProfile) -> (Browser, Url) {
+    let target = Url::parse("http://top1.com/persistent.js").unwrap();
+    let mut browser = Browser::new(profile, Box::new(origin_with_persistent_script()));
+    let infected = infector().infect_response(
+        &Response::ok(Body::text(ResourceKind::JavaScript, "function lib(){}"))
+            .with_cache_control("public, max-age=604800"),
+    );
+    // The infected copy is in the HTTP cache (delivered by the injection race)
+    // and, where supported, in the Cache API.
+    browser.cache_mut().store(&target, "top1.com", infected.clone(), 0);
+    browser
+        .cache_api_mut()
+        .put(&target.origin().to_string(), "parasite", &target, infected);
+    (browser, target)
+}
+
+#[test]
+fn parasite_survives_browser_restart_and_network_change() {
+    let (mut browser, target) = infected_browser(BrowserProfile::chrome());
+    // Days later, on a different network with the original site unreachable,
+    // the infected copy still serves from the cache.
+    browser.change_network(Box::new(mp_httpsim::transport::Internet::new()));
+    browser.advance_time(3 * 24 * 3600);
+    let result = browser.fetch(&target, "top1.com");
+    assert!(infector().is_infected(&result.response.body.as_text()));
+    assert!(!result.source.touched_network());
+}
+
+#[test]
+fn hard_reload_and_cache_clear_do_not_remove_cache_api_parasites() {
+    for profile in [BrowserProfile::chrome(), BrowserProfile::firefox(), BrowserProfile::edge(), BrowserProfile::opera()] {
+        let (mut browser, target) = infected_browser(profile.clone());
+        browser.hard_reload(&target);
+        browser.clear_http_cache();
+        let result = browser.fetch(&target, "top1.com");
+        assert_eq!(result.source, FetchSource::CacheApi, "{:?}", profile.kind);
+        assert!(infector().is_infected(&result.response.body.as_text()));
+    }
+}
+
+#[test]
+fn clearing_cookies_and_site_data_removes_the_parasite_everywhere() {
+    for profile in [BrowserProfile::chrome(), BrowserProfile::firefox(), BrowserProfile::opera()] {
+        let (mut browser, target) = infected_browser(profile);
+        browser.clear_cookies_and_site_data();
+        browser.clear_http_cache();
+        let result = browser.fetch(&target, "top1.com");
+        assert_eq!(result.source, FetchSource::Network);
+        assert!(!infector().is_infected(&result.response.body.as_text()));
+    }
+}
+
+#[test]
+fn internet_explorer_has_no_cache_api_persistence_layer() {
+    let (mut browser, target) = infected_browser(BrowserProfile::internet_explorer());
+    assert!(!browser.cache_api().is_supported());
+    // The HTTP-cache copy still serves, but clearing the cache removes it —
+    // there is no second layer to fall back to.
+    browser.clear_http_cache();
+    let result = browser.fetch(&target, "top1.com");
+    assert_eq!(result.source, FetchSource::Network);
+    assert!(!infector().is_infected(&result.response.body.as_text()));
+}
+
+#[test]
+fn table3_experiment_matches_these_observations() {
+    let table = table3_refresh_methods();
+    for (browser, cells) in &table.rows {
+        if browser == "IE" {
+            assert!(cells.iter().all(|c| *c == RemovalCell::NotApplicable));
+        } else {
+            assert_eq!(cells[0], RemovalCell::Survived, "{browser}: Ctrl+F5");
+            assert_eq!(cells[1], RemovalCell::Survived, "{browser}: clear cache");
+            assert_eq!(cells[2], RemovalCell::Removed, "{browser}: clear cookies");
+        }
+    }
+}
+
+#[test]
+fn random_query_string_defence_bypasses_the_poisoned_cache_entry() {
+    let (mut browser, target) = infected_browser(BrowserProfile::chrome());
+    // §VIII: requesting with a random query string loads a fresh copy every
+    // time, so the pinned infected entry is never used.
+    let busted = target.with_query(Some("rnd=83729137"));
+    let result = browser.fetch(&busted, "top1.com");
+    assert_eq!(result.source, FetchSource::Network);
+    assert!(!infector().is_infected(&result.response.body.as_text()));
+}

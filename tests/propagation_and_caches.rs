@@ -1,0 +1,145 @@
+//! Integration tests for cross-domain and cross-device propagation (§VI-B)
+//! and the network-cache taxonomy experiments (Table IV).
+
+use mp_browser::browser::Browser;
+use mp_browser::dom::Dom;
+use mp_browser::profile::BrowserProfile;
+use mp_httpsim::body::ResourceKind;
+use mp_httpsim::transport::{Internet, StaticOrigin};
+use mp_httpsim::url::Url;
+use mp_webcache::{table4_entries, SharedCache};
+use parasite::experiments::table4_caches;
+use parasite::infect::Infector;
+use parasite::injection::InjectingExchange;
+use parasite::propagation;
+use parasite::script::Parasite;
+
+fn site(host: &str, embeds_analytics: bool) -> StaticOrigin {
+    let mut origin = StaticOrigin::new(host);
+    let analytics = if embeds_analytics {
+        r#"<script src="http://analytics.shared-metrics.example/ga.js"></script>"#
+    } else {
+        ""
+    };
+    let html = format!(
+        r#"<html><head><script src="/app.js"></script>{analytics}</head><body>{host}</body></html>"#
+    );
+    origin.put_text("/", ResourceKind::Html, &html, "no-cache");
+    origin.put_text("/index.html", ResourceKind::Html, &html, "no-cache");
+    origin.put_text("/app.js", ResourceKind::JavaScript, "function app(){}", "public, max-age=86400");
+    origin
+}
+
+fn world() -> Internet {
+    let mut net = Internet::new();
+    net.register_origin(site("news.example", true));
+    net.register_origin(site("shop.example", true));
+    net.register_origin(site("bank.example", false));
+    net.register_origin(site("mail.example", false));
+    net.register_origin(site("social.example", false));
+    let mut analytics = StaticOrigin::new("analytics.shared-metrics.example");
+    analytics.put_text("/ga.js", ResourceKind::JavaScript, "function ga(){}", "public, max-age=604800");
+    net.register_origin(analytics);
+    net
+}
+
+fn infector() -> Infector {
+    Infector::new(Parasite::standard("master.attacker.example"))
+}
+
+#[test]
+fn infecting_the_shared_analytics_script_reaches_most_of_the_web() {
+    let shared = Url::parse("http://analytics.shared-metrics.example/ga.js").unwrap();
+    let mut injecting = InjectingExchange::new(world(), infector());
+    injecting.add_target(&shared);
+    let mut browser = Browser::new(BrowserProfile::chrome(), Box::new(injecting));
+
+    let sites: Vec<Url> = ["news.example", "shop.example", "bank.example"]
+        .iter()
+        .map(|h| Url::parse(&format!("http://{h}/index.html")).unwrap())
+        .collect();
+    let report = propagation::propagate_via_shared_file(&mut browser, &shared, &sites, &infector());
+    assert_eq!(report.infected_count(), 2, "only the two analytics-embedding sites run the parasite");
+    assert!(report.is_infected("news.example"));
+    assert!(report.is_infected("shop.example"));
+    assert!(!report.is_infected("bank.example"));
+}
+
+#[test]
+fn iframe_propagation_infects_banking_and_mail_without_the_user_visiting_them() {
+    let mut injecting = InjectingExchange::new(world(), infector());
+    injecting.infect_all(true);
+    let mut browser = Browser::new(BrowserProfile::chrome(), Box::new(injecting));
+    let carrier = Url::parse("http://news.example/index.html").unwrap();
+    browser.visit(&carrier);
+
+    let mut dom = Dom::new(carrier);
+    let targets: Vec<Url> = ["bank.example", "mail.example", "social.example"]
+        .iter()
+        .map(|h| Url::parse(&format!("http://{h}/")).unwrap())
+        .collect();
+    let report = propagation::propagate_via_iframes(&mut browser, &mut dom, &targets, &infector());
+    assert_eq!(report.infected_count(), 3);
+    // The infected copies are now cached for later clean-network visits.
+    for host in ["bank.example", "mail.example", "social.example"] {
+        let app = Url::parse(&format!("http://{host}/app.js")).unwrap();
+        assert!(browser.cache().contains_any_partition(&app), "{host} app.js must be cached");
+    }
+}
+
+#[test]
+fn cache_partitioning_limits_shared_file_propagation() {
+    let shared = Url::parse("http://analytics.shared-metrics.example/ga.js").unwrap();
+    let mut injecting = InjectingExchange::new(world(), infector());
+    injecting.add_target(&shared);
+    let mut browser = Browser::new(
+        BrowserProfile::chrome().with_cache_partitioning(),
+        Box::new(injecting),
+    );
+    // Visit news.example while exposed: its partition holds an infected ga.js.
+    browser.visit(&Url::parse("http://news.example/index.html").unwrap());
+    // The attacker disappears before the victim opens shop.example.
+    browser.change_network(Box::new(world()));
+    let load = browser.visit(&Url::parse("http://shop.example/index.html").unwrap());
+    let shop_ga_infected = load
+        .page
+        .scripts
+        .iter()
+        .filter(|s| s.url.as_ref().map(|u| u.host == shared.host).unwrap_or(false))
+        .any(|s| infector().is_infected(&s.body));
+    assert!(
+        !shop_ga_infected,
+        "with partitioned caches the poisoned analytics entry must not leak into another site's partition"
+    );
+}
+
+#[test]
+fn squid_proxy_spreads_the_infection_to_a_second_device() {
+    let mut injecting = InjectingExchange::new(world(), infector());
+    injecting.infect_all(true);
+    let squid = table4_entries().into_iter().find(|e| e.name == "Squid").unwrap();
+    let cache = SharedCache::new(squid, injecting, false);
+    let page = Url::parse("http://news.example/index.html").unwrap();
+    let (first, second) = propagation::propagate_via_shared_cache(
+        cache,
+        BrowserProfile::chrome(),
+        BrowserProfile::firefox(),
+        &page,
+        &infector(),
+    );
+    assert!(first && second);
+}
+
+#[test]
+fn table4_browser_rows_and_cdn_rows_are_infectable_over_http() {
+    let table = table4_caches();
+    for name in ["Desktop", "Smartphones", "Squid", "CDNs", "Fortigate", "CacheMara"] {
+        let row = table.rows.iter().find(|r| r.name == name).unwrap();
+        assert!(row.infected_over_http, "{name} should be infectable over http");
+    }
+    // HTTPS-incapable caches stay clean on HTTPS.
+    for name in ["Barracuda Web Filter", "Blue Coat ProxySG", "CacheMara", "LTE Network"] {
+        let row = table.rows.iter().find(|r| r.name == name).unwrap();
+        assert!(!row.infected_over_https, "{name} must not cache https");
+    }
+}

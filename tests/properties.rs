@@ -1,0 +1,138 @@
+//! Property-based tests over the reproduction's core invariants.
+
+use mp_browser::cache::HttpCache;
+use mp_browser::profile::BrowserProfile;
+use mp_httpsim::body::{Body, ResourceKind};
+use mp_httpsim::caching::CacheDirectives;
+use mp_httpsim::message::Response;
+use mp_httpsim::url::Url;
+use mp_netsim::seq::SeqNum;
+use mp_netsim::tcp::Reassembler;
+use parasite::cnc::{decode_dimensions, decode_upstream, encode_dimensions, encode_upstream};
+use parasite::infect::Infector;
+use parasite::script::{Parasite, ParasiteModule};
+use proptest::prelude::*;
+
+proptest! {
+    /// The C&C downstream image encoding is lossless for arbitrary payloads.
+    #[test]
+    fn cnc_downstream_encoding_round_trips(message in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let images = encode_dimensions(&message);
+        let decoded = decode_dimensions(&images).expect("complete sequences always decode");
+        prop_assert_eq!(decoded, message);
+    }
+
+    /// The C&C upstream URL encoding is lossless for arbitrary payloads.
+    #[test]
+    fn cnc_upstream_encoding_round_trips(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let url = encode_upstream("master.attacker.example", "campaign-0", &data);
+        let (campaign, decoded) = decode_upstream(&url).expect("well-formed exfil url");
+        prop_assert_eq!(campaign, "campaign-0");
+        prop_assert_eq!(decoded, data);
+    }
+
+    /// Infecting a JavaScript object always preserves the original code as a
+    /// prefix and always yields a detectable parasite.
+    #[test]
+    fn infection_preserves_original_and_is_detectable(original in "[ -~]{0,200}") {
+        let infector = Infector::new(Parasite::standard("master.attacker.example"));
+        let clean = Response::ok(Body::text(ResourceKind::JavaScript, original.clone()))
+            .with_cache_control("max-age=60");
+        let infected = infector.infect_response(&clean);
+        let text = infected.body.as_text();
+        prop_assert!(text.starts_with(&original));
+        prop_assert!(Parasite::detect(&text).is_some());
+        // Infection is idempotent in the detection sense: re-detecting the
+        // campaign from a doubly-infected body still works.
+        let twice = infector.infect_response(&infected);
+        prop_assert!(infector.is_infected(&twice.body.as_text()));
+    }
+
+    /// Parasite payload serialisation round-trips arbitrary module subsets.
+    #[test]
+    fn parasite_modules_round_trip(mask in 0u16..(1 << 14)) {
+        let all = [
+            ParasiteModule::CommandControl, ParasiteModule::ReadBrowserData,
+            ParasiteModule::ExtractProtectedData, ParasiteModule::ExtractLoginData,
+            ParasiteModule::ReadDomData, ParasiteModule::Propagate,
+            ParasiteModule::Phishing, ParasiteModule::StealComputation,
+            ParasiteModule::ManipulateTransactions, ParasiteModule::FakeLogin,
+            ParasiteModule::AdInjection, ParasiteModule::Ddos,
+            ParasiteModule::InternalNetworkRecon, ParasiteModule::SideChannels,
+        ];
+        let modules: Vec<_> = all.iter().enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, m)| *m)
+            .collect();
+        let parasite = Parasite::with_modules("c2.example", modules.clone());
+        let recovered = Parasite::detect(&parasite.payload_snippet()).expect("payload detectable");
+        prop_assert_eq!(recovered.modules, modules);
+    }
+
+    /// First-segment-wins: whatever bytes are offered first for an offset are
+    /// what the application sees, regardless of later writes.
+    #[test]
+    fn reassembler_first_write_wins(
+        first in proptest::collection::vec(1u8..255, 1..64),
+        second in proptest::collection::vec(1u8..255, 1..64),
+    ) {
+        let mut reassembler = Reassembler::new();
+        reassembler.offer(0, &first);
+        reassembler.offer(0, &second);
+        prop_assert_eq!(&reassembler.assembled()[..first.len()], &first[..]);
+    }
+
+    /// TCP sequence-number window membership is consistent with distance.
+    #[test]
+    fn seq_window_membership_matches_distance(base in any::<u32>(), offset in 0u32..100_000, window in 1u32..100_000) {
+        let start = SeqNum::new(base);
+        let candidate = start + offset;
+        prop_assert_eq!(candidate.in_window(start, window), offset < window);
+    }
+
+    /// The browser cache never exceeds its capacity for LRU profiles, no
+    /// matter the insertion pattern.
+    #[test]
+    fn lru_cache_respects_its_budget(sizes in proptest::collection::vec(1usize..5_000, 1..40)) {
+        let profile = BrowserProfile { cache_capacity_bytes: 20_000, ..BrowserProfile::chrome() };
+        let mut cache = HttpCache::new(profile);
+        for (index, size) in sizes.iter().enumerate() {
+            let url = Url::parse(&format!("http://site{index}.example/object.js")).unwrap();
+            let response = Response::ok(Body::binary(ResourceKind::JavaScript, vec![0u8; *size]))
+                .with_cache_control("max-age=86400");
+            cache.store(&url, "site.example", response, index as u64);
+            prop_assert!(cache.used_bytes() <= 20_000);
+        }
+    }
+
+    /// Cache-Control parsing and re-rendering is a fixpoint.
+    #[test]
+    fn cache_directives_render_parse_fixpoint(max_age in proptest::option::of(0u64..10_000_000), flags in 0u8..32) {
+        let directives = CacheDirectives {
+            max_age,
+            s_maxage: None,
+            no_store: flags & 1 != 0,
+            no_cache: flags & 2 != 0,
+            private: flags & 4 != 0,
+            public: flags & 8 != 0,
+            must_revalidate: flags & 16 != 0,
+            immutable: false,
+        };
+        let rendered = directives.to_header_value();
+        let reparsed = CacheDirectives::parse(&rendered);
+        prop_assert_eq!(directives, reparsed);
+    }
+
+    /// URL parsing round-trips through Display for simple host/path/query forms.
+    #[test]
+    fn url_display_parse_round_trip(host_index in 0usize..5, path in "/[a-z]{1,12}(\\.js)?", query in proptest::option::of("[a-z]{1,8}=[a-z0-9]{1,8}")) {
+        let hosts = ["example.com", "bank.example", "a.b.example.org", "site1.example", "x.y"];
+        let mut url_string = format!("http://{}{}", hosts[host_index], path);
+        if let Some(q) = &query {
+            url_string.push('?');
+            url_string.push_str(q);
+        }
+        let parsed = Url::parse(&url_string).expect("constructed urls parse");
+        prop_assert_eq!(parsed.to_string(), url_string);
+    }
+}
