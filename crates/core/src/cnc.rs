@@ -90,7 +90,7 @@ pub struct ImageDimensions {
 pub fn encode_dimensions(message: &[u8]) -> Vec<ImageDimensions> {
     let mut framed = (message.len() as u32).to_be_bytes().to_vec();
     framed.extend_from_slice(message);
-    while framed.len() % BYTES_PER_IMAGE != 0 {
+    while !framed.len().is_multiple_of(BYTES_PER_IMAGE) {
         framed.push(0);
     }
     framed
@@ -304,7 +304,7 @@ mod tests {
         let images = encode_dimensions(&message);
         // 4 length bytes + 40 payload bytes = 44 bytes -> 11 images.
         assert_eq!(images.len(), 11);
-        assert!(images.iter().all(|i| i.width <= MAX_DIMENSION && i.height <= MAX_DIMENSION));
+        assert_eq!(decode_dimensions(&images).unwrap(), message);
     }
 
     #[test]

@@ -219,6 +219,53 @@ mod tests {
     }
 
     #[test]
+    fn matrix_rows_agree_with_stage_gating() {
+        // The report rows must be exactly the stages `stage_survives` admits,
+        // in pipeline order — the renderer relies on both properties.
+        for row in ablation_matrix() {
+            let expected: Vec<AttackStage> = AttackStage::ALL
+                .iter()
+                .copied()
+                .filter(|&stage| stage_survives(row.defense, stage))
+                .collect();
+            assert_eq!(row.surviving_stages, expected, "{}", row.defense);
+        }
+    }
+
+    #[test]
+    fn hsts_preload_blocks_the_whole_injection_pipeline() {
+        // With no plaintext window there is nothing to inject, persist or
+        // propagate — but an already-infected client's C&C still works.
+        assert!(!stage_survives(Defense::HstsPreload, AttackStage::ActiveInjection));
+        assert!(!stage_survives(Defense::HstsPreload, AttackStage::CachePersistence));
+        assert!(!stage_survives(Defense::HstsPreload, AttackStage::CrossDomainPropagation));
+        assert!(stage_survives(Defense::HstsPreload, AttackStage::CommandAndControl));
+        assert!(stage_survives(Defense::HstsPreload, AttackStage::TransactionManipulation));
+    }
+
+    #[test]
+    fn caching_defences_remove_persistence_not_cnc() {
+        for defense in [Defense::RandomQueryString, Defense::SubresourceIntegrity] {
+            assert!(!stage_survives(defense, AttackStage::CachePersistence), "{defense}");
+            assert!(!stage_survives(defense, AttackStage::CrossDomainPropagation), "{defense}");
+            assert!(stage_survives(defense, AttackStage::CommandAndControl), "{defense}");
+        }
+        // Partitioning only stops cross-site reuse, not same-site persistence.
+        assert!(stage_survives(Defense::CachePartitioning, AttackStage::CachePersistence));
+        assert!(!stage_survives(Defense::CachePartitioning, AttackStage::CrossDomainPropagation));
+    }
+
+    #[test]
+    fn display_labels_are_unique_report_keys() {
+        let mut labels: Vec<String> = Defense::ALL.iter().map(|d| d.to_string()).collect();
+        labels.extend(AttackStage::ALL.iter().map(|s| s.to_string()));
+        let total = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), total, "defence/stage labels must be distinct");
+    }
+
+    #[test]
     fn ablation_matrix_has_one_row_per_defence() {
         let matrix = ablation_matrix();
         assert_eq!(matrix.len(), Defense::ALL.len());

@@ -193,7 +193,7 @@ mod tests {
         assert!(browser.cache().contains_any_partition(&target));
 
         let attack = EvictionAttack::new(2_000, 64);
-        let report = attack.run(&mut browser, &[target.clone()]);
+        let report = attack.run(&mut browser, std::slice::from_ref(&target));
         assert!(report.evicted_targets, "{report:?}");
         assert!(report.inter_domain);
         assert!(report.junk_objects_loaded > 0);
@@ -209,7 +209,7 @@ mod tests {
         browser.fetch(&target, "bank.example");
 
         let attack = EvictionAttack::new(2_000, 64);
-        let report = attack.run(&mut browser, &[target.clone()]);
+        let report = attack.run(&mut browser, std::slice::from_ref(&target));
         assert!(!report.evicted_targets);
         assert!(!report.inter_domain);
         assert!(report.memory_pressure > 1.0);

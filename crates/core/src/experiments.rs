@@ -663,7 +663,7 @@ pub fn fig1_eviction_flow() -> FlowTrace {
     let popular_url = Url::parse("http://popular.com/img.png").expect("static url");
     browser.fetch(&popular_url, "popular.com");
     let attack = EvictionAttack::new(2_048, 16);
-    let report = attack.run(&mut browser, &[popular_url.clone()]);
+    let report = attack.run(&mut browser, std::slice::from_ref(&popular_url));
     for index in 0..report.junk_objects_loaded {
         steps.push(format!("victim -> attacker.com: GET /junk{index:04}.jpg [ATTACK]"));
     }

@@ -114,19 +114,11 @@ impl Tap for MasterTap {
 }
 
 /// How the attacker decides whether it can inject into a connection at all.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Injectability {
     /// TLS deployment per host; hosts not listed are assumed to use modern,
     /// correctly deployed HTTPS when reached over `https://` URLs.
     pub deployments: HashMap<String, TlsDeployment>,
-}
-
-impl Default for Injectability {
-    fn default() -> Self {
-        Injectability {
-            deployments: HashMap::new(),
-        }
-    }
 }
 
 impl Injectability {

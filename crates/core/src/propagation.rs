@@ -196,7 +196,7 @@ mod tests {
 
     fn site(host: &str, extra_script: Option<&str>) -> StaticOrigin {
         let mut origin = StaticOrigin::new(host);
-        let mut head = format!(r#"<script src="/app.js"></script>"#);
+        let mut head = String::from(r#"<script src="/app.js"></script>"#);
         if let Some(shared) = extra_script {
             head.push_str(&format!(r#"<script src="{shared}"></script>"#));
         }

@@ -8,7 +8,7 @@ use std::fmt;
 /// The parasite only infects HTML and JavaScript (paper §VI-A); images —
 /// especially SVG — matter because the C&C downstream channel encodes data in
 /// image dimensions (§VI-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum ResourceKind {
     /// An HTML document.
     Html,
@@ -21,6 +21,7 @@ pub enum ResourceKind {
     /// An SVG image — its intrinsic width/height carry C&C payload bits.
     Svg,
     /// Anything else (fonts, JSON, binary downloads, ...).
+    #[default]
     Other,
 }
 
@@ -94,12 +95,6 @@ pub struct Body {
     pub bytes: Vec<u8>,
     /// What the payload is.
     pub kind: ResourceKind,
-}
-
-impl Default for ResourceKind {
-    fn default() -> Self {
-        ResourceKind::Other
-    }
 }
 
 impl Body {

@@ -400,6 +400,66 @@ mod tests {
     }
 
     #[test]
+    fn parse_is_case_insensitive_and_whitespace_tolerant() {
+        let d = CacheDirectives::parse("  Public ,  MAX-AGE=60 ,IMMUTABLE  ");
+        assert!(d.public && d.immutable);
+        assert_eq!(d.max_age, Some(60));
+    }
+
+    #[test]
+    fn malformed_and_unknown_directives_are_ignored() {
+        let d = CacheDirectives::parse("max-age=abc, s-maxage=, stale-while-revalidate=30, max-age=-5");
+        assert_eq!(d, CacheDirectives::default());
+        // A later well-formed directive still takes effect.
+        let d = CacheDirectives::parse("max-age=oops, max-age=90");
+        assert_eq!(d.max_age, Some(90));
+    }
+
+    #[test]
+    fn freshness_boundary_is_stale() {
+        // RFC 7234: a response is fresh while age < lifetime, so at exactly
+        // its lifetime it is stale by zero seconds.
+        let policy = CachePolicy::private_cache();
+        let response = js_response("max-age=100");
+        assert_eq!(policy.freshness(&response, 100), Freshness::Stale { stale_for_secs: 0 });
+    }
+
+    #[test]
+    fn etag_comparison_shadows_last_modified() {
+        // When both sides carry an ETag, its verdict is final: a matching
+        // Last-Modified must not rescue a failed strong-validator comparison.
+        let policy = CachePolicy::private_cache();
+        let stored = js_response("max-age=1").with_etag("\"v1\"").with_header(names::LAST_MODIFIED, "777");
+        let original = Request::get(Url::parse("http://top1.com/app.js").unwrap());
+        let revalidation = policy.revalidation_request(&original, &stored);
+        let rotated = js_response("max-age=1").with_etag("\"v2\"").with_header(names::LAST_MODIFIED, "777");
+        assert!(!policy.validators_match(&revalidation, &rotated));
+    }
+
+    #[test]
+    fn last_modified_is_used_when_no_etag() {
+        let policy = CachePolicy::private_cache();
+        let stored = js_response("max-age=1").with_header(names::LAST_MODIFIED, "777");
+        let original = Request::get(Url::parse("http://top1.com/app.js").unwrap());
+        let revalidation = policy.revalidation_request(&original, &stored);
+        assert!(policy.validators_match(&revalidation, &stored));
+        let touched = js_response("max-age=1").with_header(names::LAST_MODIFIED, "778");
+        assert!(!policy.validators_match(&revalidation, &touched));
+        // No validators anywhere: a 304 is never the right answer.
+        let bare = js_response("max-age=1");
+        assert!(!policy.validators_match(&original, &bare));
+    }
+
+    #[test]
+    fn validators_any_reflects_either_field() {
+        assert!(!Validators::default().any());
+        let stored = js_response("max-age=1").with_etag("\"v1\"");
+        assert!(Validators::from_headers(&stored.headers).any());
+        let stored = js_response("max-age=1").with_header(names::LAST_MODIFIED, "1");
+        assert!(Validators::from_headers(&stored.headers).any());
+    }
+
+    #[test]
     fn parasite_pin_header_is_maximally_sticky() {
         let value = parasite_pin_header();
         let d = CacheDirectives::parse(&value);

@@ -156,7 +156,7 @@ impl ContentSecurityPolicy {
     pub fn parse(version: CspVersion, value: &str) -> Self {
         let mut directives = BTreeMap::new();
         for clause in value.split(';') {
-            let mut tokens = clause.trim().split_whitespace();
+            let mut tokens = clause.split_whitespace();
             let Some(name) = tokens.next() else { continue };
             let Some(directive) = Directive::parse(&name.to_ascii_lowercase()) else {
                 continue;

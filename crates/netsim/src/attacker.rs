@@ -192,11 +192,17 @@ impl Injector {
 /// (object matching, parasite construction, C&C).
 pub struct ResponseInjector {
     injector: Injector,
-    matcher: Box<dyn Fn(&[u8]) -> bool + Send>,
-    response_builder: Box<dyn FnMut(&[u8]) -> Vec<u8> + Send>,
+    matcher: PayloadMatcher,
+    response_builder: ResponseBuilder,
     injected_count: usize,
     name: String,
 }
+
+/// Predicate over an observed payload deciding whether to attack.
+pub type PayloadMatcher = Box<dyn Fn(&[u8]) -> bool + Send>;
+
+/// Builds the spoofed response bytes from the observed request payload.
+pub type ResponseBuilder = Box<dyn FnMut(&[u8]) -> Vec<u8> + Send>;
 
 impl std::fmt::Debug for ResponseInjector {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -133,6 +133,10 @@ pub struct Segment {
     pub payload: Bytes,
 }
 
+// The vendored serde stub derives field-free impls, so these adapters are not
+// called at runtime; they are kept (and allowed dead) so the `#[serde(with)]`
+// annotation round-trips unchanged against the real serde.
+#[allow(dead_code)]
 mod serde_bytes_compat {
     //! `bytes::Bytes` does not implement serde by default in the feature set
     //! we enable; serialize through `Vec<u8>`.

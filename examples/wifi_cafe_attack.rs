@@ -9,6 +9,7 @@ use mp_browser::browser::Browser;
 use mp_browser::dom::Dom;
 use mp_browser::profile::BrowserProfile;
 use mp_httpsim::body::ResourceKind;
+use mp_httpsim::tls::{TlsDeployment, TlsVersion};
 use mp_httpsim::transport::{Internet, StaticOrigin};
 use mp_httpsim::url::Url;
 use parasite::attacks;
@@ -38,9 +39,17 @@ fn main() {
     master.add_target(Url::parse("http://news.example/app.js").expect("static url"));
     let infector = master.infector();
 
-    // Café WiFi: the master infects everything it can see.
+    // Café WiFi: the master infects everything it can see. The bank and mail
+    // sites use HTTPS, but their deployments are vulnerable (legacy SSL), so
+    // the on-path attacker can inject into them too — which is what makes the
+    // propagation phase of the demo work.
     let mut hostile = master.injecting_exchange(web());
     hostile.infect_all(true);
+    for host in ["bank.example", "mail.example"] {
+        hostile
+            .injectability_mut()
+            .set(host, TlsDeployment::legacy_ssl(TlsVersion::Ssl3));
+    }
     let mut browser = Browser::new(BrowserProfile::chrome(), Box::new(hostile));
 
     println!("== phase 1: victim reads the news in the café ==");
@@ -54,8 +63,6 @@ fn main() {
         Url::parse("https://bank.example/login").expect("static url"),
         Url::parse("https://mail.example/login").expect("static url"),
     ];
-    // The bank and mail sites use HTTPS; on this network their deployments are
-    // strippable/broken, which is what makes the demo work.
     let report = propagation::propagate_via_iframes(&mut browser, &mut dom, &targets, &infector);
     println!("  domains now carrying parasites: {:?}", report.infected_domains);
     println!("  domains that stayed clean:      {:?}", report.clean_domains);

@@ -55,7 +55,7 @@ fn full_attack_chain_from_wifi_to_credential_theft() {
     // --- Phase 1: the victim joins the attacker's WiFi. Cache eviction first.
     let hostile = master.injecting_exchange(clean_internet());
     browser.change_network(Box::new(hostile));
-    let eviction = EvictionAttack::new(2_048, 64).run(&mut browser, &[target.clone()]);
+    let eviction = EvictionAttack::new(2_048, 64).run(&mut browser, std::slice::from_ref(&target));
     assert!(eviction.evicted_targets, "target must be flushed: {eviction:?}");
 
     // --- Phase 2: the next visit re-fetches the object; the master races the

@@ -34,7 +34,7 @@ fn crossover_is_monotone_in_attacker_reaction_time() {
             crossover_seen = true;
         }
         assert!(
-            !(won && !last_won),
+            !won || last_won,
             "attacker must not start winning again at {reaction_us} us after having lost"
         );
         last_won = won;

@@ -1,0 +1,194 @@
+//! Offline stub of `bytes`.
+//!
+//! Implements the [`Bytes`] type — an immutable, cheaply clonable,
+//! reference-counted byte buffer — with the subset of the real crate's API the
+//! workspace uses. Cloning shares the underlying allocation, so packet
+//! payloads can fan out across simulated links without copying.
+
+#![forbid(unsafe_code)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer. Clones share storage.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
+    }
+
+    /// Creates a buffer from a static slice.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns a sub-range as a new (copied) buffer.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        Bytes::copy_from_slice(&self.data[start..end])
+    }
+
+    /// Returns the contents as a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &byte in self.data.iter() {
+            for escaped in std::ascii::escape_default(byte) {
+                write!(f, "{}", escaped as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::from(data.into_boxed_slice()),
+        }
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(data: Box<[u8]>) -> Self {
+        Bytes { data: Arc::from(data) }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(data: String) -> Self {
+        Bytes::from(data.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(data: &'static [u8]) -> Self {
+        Bytes::from_static(data)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(data: &'static str) -> Self {
+        Bytes::from_static(data.as_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.data[..] == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self.data[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.data[..] == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Bytes;
+
+    #[test]
+    fn clones_share_storage() {
+        let original = Bytes::from(vec![1, 2, 3]);
+        let clone = original.clone();
+        assert_eq!(original, clone);
+        assert_eq!(clone.as_ref().as_ptr(), original.as_ref().as_ptr());
+    }
+
+    #[test]
+    fn slice_and_deref() {
+        let bytes = Bytes::copy_from_slice(b"hello world");
+        assert_eq!(&bytes[..5], b"hello");
+        assert_eq!(bytes.slice(6..).as_ref(), b"world");
+        assert_eq!(bytes.len(), 11);
+    }
+
+    #[test]
+    fn debug_escapes() {
+        let bytes = Bytes::copy_from_slice(b"a\n");
+        assert_eq!(format!("{bytes:?}"), "b\"a\\n\"");
+    }
+}

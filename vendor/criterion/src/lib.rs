@@ -1,0 +1,217 @@
+//! Offline stub of `criterion`.
+//!
+//! Implements the subset of Criterion's API the bench suite uses —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}`, `Bencher::iter`
+//! and `black_box` — with a simple wall-clock measurement loop instead of the
+//! real statistical machinery. Each benchmark is warmed up briefly, then timed
+//! over `sample_size` batches; the mean, minimum and maximum per-iteration
+//! times are printed in a Criterion-like one-line format:
+//!
+//! ```text
+//! table1_eviction/table1_eviction
+//!                         time:   [1.0234 ms 1.0491 ms 1.102 ms]  (10 samples)
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Parses Criterion-ish command-line arguments. The stub accepts and
+    /// ignores everything (cargo bench passes `--bench`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Registers a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_benchmark(id, sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        run_benchmark(&full_id, self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group. (The stub keeps no cross-group state.)
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample of `iters_per_sample` calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Picks an iteration count that keeps each sample around 2ms, then collects
+/// `sample_size` samples and prints a summary line.
+fn run_benchmark<F>(id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration pass: one iteration, to estimate per-call cost.
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut bencher);
+    let per_call = bencher
+        .samples
+        .first()
+        .copied()
+        .unwrap_or(Duration::from_micros(1))
+        .max(Duration::from_nanos(1));
+    let target = Duration::from_millis(2);
+    let iters = (target.as_nanos() / per_call.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: iters,
+    };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+
+    let per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|sample| sample.as_secs_f64() / iters as f64)
+        .collect();
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().copied().fold(0.0f64, f64::max);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+    println!(
+        "{id}\n                        time:   [{} {} {}]  ({} samples, {iters} iters/sample)",
+        format_seconds(min),
+        format_seconds(mean),
+        format_seconds(max),
+        per_iter.len(),
+    );
+}
+
+/// Formats a duration in seconds with Criterion-style units.
+fn format_seconds(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.4} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("stub");
+        let mut calls = 0u64;
+        group.sample_size(5).bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn units_format() {
+        assert!(format_seconds(2.5).ends_with(" s"));
+        assert!(format_seconds(2.5e-3).ends_with(" ms"));
+        assert!(format_seconds(2.5e-6).ends_with(" µs"));
+        assert!(format_seconds(2.5e-9).ends_with(" ns"));
+    }
+}

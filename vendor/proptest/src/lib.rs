@@ -1,0 +1,689 @@
+//! Offline stub of `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this crate re-implements
+//! the slice of proptest the test suite uses: the `proptest!` macro,
+//! `prop_assert!`/`prop_assert_eq!`, `any::<T>()`, integer-range strategies,
+//! `collection::vec`, `option::of` and string strategies described by a regex
+//! subset (`[a-z]` classes, `{m,n}` counts, `(...)?` groups, alternation,
+//! escapes).
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * no shrinking — a failing `prop_assert*` reports the case index and the
+//!   per-test seed (enough to replay the exact stream deterministically) but
+//!   the failing inputs are not echoed or minimised;
+//! * sampling is a plain SplitMix64 stream seeded per test function, so runs
+//!   are reproducible without a persistence file;
+//! * the number of cases per property defaults to 512 (vs proptest's 256) and
+//!   can be overridden with the `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and primitive strategies.
+
+    use crate::string::sample_regex;
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of a given type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategies {
+        ($($ty:ty),*) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    self.start.wrapping_add((rng.next_u64() as u128 % span) as $ty)
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                    start.wrapping_add((rng.next_u64() as u128 % span) as $ty)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy produced by [`crate::arbitrary::any`].
+    pub struct Any<T> {
+        pub(crate) _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            sample_regex(self, rng)
+        }
+    }
+
+    /// Boxed strategies are not used by the workspace but keep signatures
+    /// compatible for simple compositions.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` and the [`Arbitrary`] trait.
+
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Printable ASCII keeps generated text debuggable.
+            (0x20 + (rng.next_u64() % 0x5f)) as u8 as char
+        }
+    }
+
+    /// Returns the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive-exclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(range: core::ops::Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            SizeRange {
+                min: range.start,
+                max_exclusive: range.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(range.start() <= range.end(), "empty size range");
+            SizeRange {
+                min: *range.start(),
+                max_exclusive: range.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + (rng.next_u64() % span.max(1)) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Option strategies (`of`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<T>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `None` about a quarter of the time, `Some` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! A tiny regex sampler covering the pattern syntax the suite uses.
+
+    use crate::test_runner::TestRng;
+
+    /// Longest expansion for unbounded quantifiers (`*`, `+`).
+    const UNBOUNDED_CAP: usize = 8;
+
+    #[derive(Debug, Clone)]
+    enum Node {
+        Literal(char),
+        /// Flattened character class alternatives.
+        Class(Vec<char>),
+        /// Alternation of sequences (a single-element alternation is a group).
+        Group(Vec<Vec<Node>>),
+        /// A node repeated between `min` and `max` times (inclusive).
+        Repeated(Box<Node>, usize, usize),
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    struct Repeat {
+        min: usize,
+        max: usize,
+    }
+
+    /// Parses `pattern` (a supported-regex subset) and draws one matching
+    /// string. Panics on syntax the stub does not support, so unsupported
+    /// test patterns fail loudly instead of silently sampling garbage.
+    pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (alternatives, consumed) = parse_alternation(&chars, 0, None);
+        assert!(
+            consumed == chars.len(),
+            "proptest stub: trailing regex input in {pattern:?}"
+        );
+        let mut out = String::new();
+        sample_sequence(&alternatives[rng.next_u64() as usize % alternatives.len()], rng, &mut out);
+        out
+    }
+
+    /// Parses alternatives separated by `|` until `stop` (or end of input).
+    /// Returns the alternatives and the index one past the last consumed
+    /// character (past the `stop` character, when given).
+    fn parse_alternation(chars: &[char], mut i: usize, stop: Option<char>) -> (Vec<Vec<(Node, Repeat)>>, usize) {
+        let mut alternatives = Vec::new();
+        let mut current: Vec<(Node, Repeat)> = Vec::new();
+        loop {
+            match chars.get(i) {
+                None => {
+                    assert!(stop.is_none(), "proptest stub: unterminated group");
+                    alternatives.push(current);
+                    return (alternatives, i);
+                }
+                Some(&c) if Some(c) == stop => {
+                    alternatives.push(current);
+                    return (alternatives, i + 1);
+                }
+                Some('|') => {
+                    alternatives.push(std::mem::take(&mut current));
+                    i += 1;
+                }
+                Some(_) => {
+                    let (node, next) = parse_atom(chars, i);
+                    let (repeat, next) = parse_quantifier(chars, next);
+                    current.push((node, repeat));
+                    i = next;
+                }
+            }
+        }
+    }
+
+    fn parse_atom(chars: &[char], i: usize) -> (Node, usize) {
+        match chars[i] {
+            '(' => {
+                let (alternatives, next) = parse_alternation(chars, i + 1, Some(')'));
+                // Re-box the quantified sequences into plain node sequences.
+                let alternatives = alternatives
+                    .into_iter()
+                    .map(|seq| seq.into_iter().map(|(node, repeat)| quantified(node, repeat)).collect())
+                    .collect();
+                (Node::Group(alternatives), next)
+            }
+            '[' => parse_class(chars, i + 1),
+            '\\' => {
+                let escaped = *chars
+                    .get(i + 1)
+                    .expect("proptest stub: dangling escape in regex");
+                let node = match escaped {
+                    'd' => Node::Class(('0'..='9').collect()),
+                    'w' => Node::Class(
+                        ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(['_']).collect(),
+                    ),
+                    's' => Node::Class(vec![' ', '\t']),
+                    other => Node::Literal(other),
+                };
+                (node, i + 2)
+            }
+            '.' => {
+                // Any printable ASCII character.
+                (Node::Class((' '..='~').collect()), i + 1)
+            }
+            c => {
+                assert!(
+                    !matches!(c, '?' | '*' | '+' | '{' | '}' | ')' | ']'),
+                    "proptest stub: unsupported regex syntax at {c:?}"
+                );
+                (Node::Literal(c), i + 1)
+            }
+        }
+    }
+
+    /// Wraps a quantified node so it can live inside an unquantified group
+    /// sequence: `X{2,5}` becomes a single-alternative group re-quantified at
+    /// sample time.
+    fn quantified(node: Node, repeat: Repeat) -> Node {
+        if repeat.min == 1 && repeat.max == 1 {
+            node
+        } else {
+            Node::Group(vec![vec![Node::Repeated(Box::new(node), repeat.min, repeat.max)]])
+        }
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> (Node, usize) {
+        let mut members = Vec::new();
+        assert!(
+            chars.get(i) != Some(&'^'),
+            "proptest stub: negated classes unsupported"
+        );
+        while let Some(&c) = chars.get(i) {
+            if c == ']' {
+                assert!(!members.is_empty(), "proptest stub: empty character class");
+                return (Node::Class(members), i + 1);
+            }
+            let literal = if c == '\\' {
+                i += 1;
+                *chars.get(i).expect("proptest stub: dangling escape in class")
+            } else {
+                c
+            };
+            // Range `a-z` (a `-` at the end of the class is a literal).
+            if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+                let end = chars[i + 2];
+                assert!(literal <= end, "proptest stub: inverted class range");
+                members.extend(literal..=end);
+                i += 3;
+            } else {
+                members.push(literal);
+                i += 1;
+            }
+        }
+        panic!("proptest stub: unterminated character class");
+    }
+
+    fn parse_quantifier(chars: &[char], i: usize) -> (Repeat, usize) {
+        match chars.get(i) {
+            Some('?') => (Repeat { min: 0, max: 1 }, i + 1),
+            Some('*') => (Repeat { min: 0, max: UNBOUNDED_CAP }, i + 1),
+            Some('+') => (Repeat { min: 1, max: UNBOUNDED_CAP }, i + 1),
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("proptest stub: unterminated {} quantifier")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    None => {
+                        let exact: usize = body.trim().parse().expect("bad {} count");
+                        (exact, exact)
+                    }
+                    Some((min, "")) => {
+                        let min: usize = min.trim().parse().expect("bad {} count");
+                        // Open-ended `{m,}`: sample up to CAP extra repetitions.
+                        (min, min + UNBOUNDED_CAP)
+                    }
+                    Some((min, max)) => (
+                        min.trim().parse().expect("bad {} count"),
+                        max.trim().parse().expect("bad {} count"),
+                    ),
+                };
+                assert!(min <= max, "proptest stub: inverted {{m,n}} quantifier");
+                (Repeat { min, max }, close + 1)
+            }
+            _ => (Repeat { min: 1, max: 1 }, i),
+        }
+    }
+
+    fn sample_sequence(sequence: &[(Node, Repeat)], rng: &mut TestRng, out: &mut String) {
+        for (node, repeat) in sequence {
+            let span = (repeat.max - repeat.min + 1) as u64;
+            let count = repeat.min + (rng.next_u64() % span) as usize;
+            for _ in 0..count {
+                sample_node(node, rng, out);
+            }
+        }
+    }
+
+    fn sample_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class(members) => {
+                out.push(members[rng.next_u64() as usize % members.len()]);
+            }
+            Node::Group(alternatives) => {
+                let chosen = &alternatives[rng.next_u64() as usize % alternatives.len()];
+                for inner in chosen {
+                    sample_node(inner, rng, out);
+                }
+            }
+            Node::Repeated(inner, min, max) => {
+                let span = (max - min + 1) as u64;
+                let count = min + (rng.next_u64() % span) as usize;
+                for _ in 0..count {
+                    sample_node(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic RNG, case counts and failure plumbing for `proptest!`.
+
+    /// Default number of cases per property (over proptest's 256 — the
+    /// strategies here are cheap and the suite still runs in seconds).
+    pub const DEFAULT_CASES: u32 = 512;
+
+    /// Number of cases per property, honouring `PROPTEST_CASES`.
+    pub fn case_count() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|raw| raw.parse().ok())
+            .unwrap_or(DEFAULT_CASES)
+    }
+
+    /// The FNV-1a fold of a test's name used to seed its stream. Exposed so
+    /// failure messages can print a seed that reproduces the run via
+    /// [`TestRng::from_seed`].
+    pub fn named_seed(name: &str) -> u64 {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            seed ^= byte as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        seed
+    }
+
+    /// SplitMix64 stream used to drive all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from an explicit seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Deterministic per-test seed derived from the test's name, so every
+        /// property explores a different but reproducible stream.
+        pub fn for_test(name: &str) -> Self {
+            TestRng::from_seed(named_seed(name))
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests. Each function runs
+/// [`test_runner::case_count`] cases with freshly sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                let seed = $crate::test_runner::named_seed(stringify!($name));
+                let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                for case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(error) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{} (replay: TestRng::from_seed({:#x})): {}",
+                            stringify!($name), case, cases, seed, error,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {} != {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::string::sample_regex;
+
+    #[test]
+    fn regex_subset_samples_match_shape() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let path = sample_regex("/[a-z]{1,12}(\\.js)?", &mut rng);
+            assert!(path.starts_with('/'));
+            let rest = path.trim_start_matches('/');
+            let stem = rest.trim_end_matches(".js");
+            assert!((1..=12).contains(&stem.len()), "bad stem {stem:?}");
+            assert!(stem.chars().all(|c| c.is_ascii_lowercase()));
+
+            let kv = sample_regex("[a-z]{1,8}=[a-z0-9]{1,8}", &mut rng);
+            let (key, value) = kv.split_once('=').expect("kv shape");
+            assert!(!key.is_empty() && key.len() <= 8);
+            assert!(!value.is_empty() && value.len() <= 8);
+
+            let printable = sample_regex("[ -~]{0,200}", &mut rng);
+            assert!(printable.len() <= 200);
+            assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn open_ended_quantifier_above_cap() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            let s = sample_regex("[a-z]{10,}", &mut rng);
+            assert!(s.len() >= 10, "got {} chars", s.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty size range")]
+    fn empty_inclusive_size_range_is_rejected() {
+        // Construct the empty range at runtime so the deliberate emptiness
+        // does not trip clippy::reversed_empty_ranges.
+        let (start, end) = (5usize, 3usize);
+        let _ = crate::collection::SizeRange::from(start..=end);
+    }
+
+    #[test]
+    fn alternation_and_plus() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..100 {
+            let s = sample_regex("(foo|bar)+x", &mut rng);
+            assert!(s.ends_with('x'));
+            let body = &s[..s.len() - 1];
+            assert!(!body.is_empty());
+        }
+    }
+
+    proptest! {
+        /// The stub's own macro wiring: ranges stay in bounds.
+        #[test]
+        fn ranges_stay_in_bounds(value in 10u32..20, flag in any::<u8>()) {
+            prop_assert!((10..20).contains(&value));
+            prop_assert_eq!(flag as u64 & 0xff, flag as u64);
+        }
+
+        /// Vectors respect their size range.
+        #[test]
+        fn vectors_respect_size(items in crate::collection::vec(0u8..10, 3..7)) {
+            prop_assert!((3..7).contains(&items.len()));
+            prop_assert!(items.iter().all(|&b| b < 10));
+        }
+
+        /// Option strategies produce both variants over enough cases.
+        #[test]
+        fn options_in_range(maybe in crate::option::of(1u64..100)) {
+            if let Some(v) = maybe {
+                prop_assert!((1..100).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Offline stub of `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides just
+//! enough of serde's trait surface for the workspace to keep its
+//! `#[derive(Serialize, Deserialize)]` annotations and the occasional manual
+//! `#[serde(with = "...")]` adapter module. No data format ships with the
+//! workspace, so nothing serialises at runtime; the traits exist to be
+//! implemented, not driven.
+//!
+//! Mirrored API subset:
+//!
+//! * [`Serialize`], [`Serializer`] (unit/bytes sinks only),
+//! * [`Deserialize`], [`Deserializer`],
+//! * [`ser::Error`] / [`de::Error`] with `custom`,
+//! * the `derive` feature re-exporting the stub `serde_derive` macros.
+
+#![forbid(unsafe_code)]
+
+// The derive macros emit paths rooted at `::serde`; alias self so the
+// in-crate tests can exercise them too.
+#[cfg(test)]
+extern crate self as serde;
+
+use std::fmt::Display;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization error machinery.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Trait every [`crate::Serializer`] error type implements.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization error machinery.
+pub mod de {
+    use std::fmt::Display;
+
+    /// Trait every [`crate::Deserializer`] error type implements.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A value that can be serialised.
+pub trait Serialize {
+    /// Serialises `self` into the given serializer.
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer;
+}
+
+/// A serialisation sink. Only the entry points the workspace actually calls
+/// are modelled; everything funnels into `serialize_unit`/`serialize_bytes`.
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Serialises a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialises a byte slice.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A value that can be deserialised.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialises `Self` from the given deserializer.
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+/// A deserialisation source. The stub carries no data model: implementations
+/// of [`Deserialize`] against it can only fail, which is fine because nothing
+/// in the workspace deserialises at runtime.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+}
+
+impl<'de, T> Deserialize<'de> for Vec<T> {
+    fn deserialize<D>(_deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        Err(<D::Error as de::Error>::custom(
+            "serde stub: runtime deserialization is not supported offline",
+        ))
+    }
+}
+
+/// A ready-made error type for tests exercising the stub traits.
+#[derive(Debug)]
+pub struct StubError(String);
+
+impl Display for StubError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for StubError {}
+
+impl ser::Error for StubError {
+    fn custom<T: Display>(msg: T) -> Self {
+        StubError(msg.to_string())
+    }
+}
+
+impl de::Error for StubError {
+    fn custom<T: Display>(msg: T) -> Self {
+        StubError(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A serializer that records what was written, used to prove the derive
+    /// output drives the trait surface.
+    struct Probe;
+
+    impl Serializer for Probe {
+        type Ok = &'static str;
+        type Error = StubError;
+
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+            Ok("unit")
+        }
+
+        fn serialize_bytes(self, _v: &[u8]) -> Result<Self::Ok, Self::Error> {
+            Ok("bytes")
+        }
+    }
+
+    #[cfg(feature = "derive")]
+    #[derive(Serialize, Deserialize)]
+    struct Derived {
+        #[serde(with = "ignored")]
+        _field: u32,
+    }
+
+    #[cfg(feature = "derive")]
+    mod ignored {}
+
+    #[cfg(feature = "derive")]
+    #[test]
+    fn derived_serialize_is_callable() {
+        let value = Derived { _field: 7 };
+        assert_eq!(value.serialize(Probe).unwrap(), "unit");
+    }
+
+    #[cfg(feature = "derive")]
+    #[derive(Serialize, Deserialize)]
+    struct WithLifetime<'a> {
+        _name: &'a str,
+    }
+
+    #[cfg(feature = "derive")]
+    #[derive(Serialize, Deserialize)]
+    struct WithTypeParam<T> {
+        _inner: T,
+    }
+
+    #[cfg(feature = "derive")]
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)]
+    enum MixedGenerics<'a, T: Clone> {
+        Borrowed(&'a str),
+        Owned(T),
+    }
+
+    #[cfg(feature = "derive")]
+    #[test]
+    fn derives_handle_generics_and_lifetimes() {
+        // The derive ignores fields, so no bounds on T are required.
+        let value = WithLifetime { _name: "x" };
+        assert_eq!(value.serialize(Probe).unwrap(), "unit");
+        let value = WithTypeParam { _inner: vec![1u8] };
+        assert_eq!(value.serialize(Probe).unwrap(), "unit");
+        let value: MixedGenerics<'_, u8> = MixedGenerics::Borrowed("y");
+        assert_eq!(value.serialize(Probe).unwrap(), "unit");
+    }
+
+    #[test]
+    fn stub_error_carries_message() {
+        let err = <StubError as de::Error>::custom("boom");
+        assert_eq!(err.to_string(), "boom");
+    }
+}

@@ -1,0 +1,166 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this proc-macro crate
+//! stands in for the real `serde_derive`. The derives accept the same surface
+//! syntax (including `#[serde(...)]` helper attributes, which are ignored) and
+//! emit structurally trivial impls of the stub `serde` traits:
+//!
+//! * `Serialize` serialises every value as a unit, and
+//! * `Deserialize` always errors — nothing in this workspace deserialises at
+//!   runtime; the impls exist so the shared type definitions keep their
+//!   `#[derive(Serialize, Deserialize)]` annotations verbatim.
+//!
+//! The parser is deliberately tiny: it only needs the item's name and generic
+//! parameters, not its fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parts of an item header the trivial impls need.
+struct ItemHeader {
+    /// Type name (`Foo` in `struct Foo<T> { .. }`).
+    name: String,
+    /// Raw generic parameter list including angle brackets (`<T: Clone>`),
+    /// empty when the item is not generic.
+    params: String,
+    /// Generic arguments for the self type (`<T>`), empty when not generic.
+    args: String,
+}
+
+/// Extracts the name and generics of the `struct`/`enum` a derive is attached
+/// to, skipping attributes and visibility.
+fn parse_header(input: TokenStream) -> ItemHeader {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    let name = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the bracket group of the attribute.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(word)) => {
+                let word = word.to_string();
+                if word == "pub" {
+                    // Optional `(crate)` / `(super)` restriction.
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                } else if word == "struct" || word == "enum" || word == "union" {
+                    match tokens.next() {
+                        Some(TokenTree::Ident(name)) => break name.to_string(),
+                        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+                    }
+                }
+                // Any other ident (e.g. nothing else is legal here) is skipped.
+            }
+            Some(_) => {}
+            None => panic!("serde_derive stub: ran out of tokens before item name"),
+        }
+    };
+
+    // Collect the generic parameter list, if any.
+    let mut params = String::new();
+    let mut args = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            let mut depth = 0usize;
+            let mut arg_names: Vec<String> = Vec::new();
+            let mut expect_param = true;
+            for token in tokens.by_ref() {
+                let text = token.to_string();
+                match &token {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            params.push('>');
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+                    TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => expect_param = false,
+                    TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && expect_param => {
+                        // A lifetime parameter: the tick plus the next ident.
+                        arg_names.push(String::from("'"));
+                    }
+                    TokenTree::Ident(word) if depth == 1 && expect_param => {
+                        match arg_names.last_mut() {
+                            Some(last) if last == "'" => last.push_str(&word.to_string()),
+                            _ => arg_names.push(word.to_string()),
+                        }
+                        expect_param = false;
+                    }
+                    _ => {}
+                }
+                // `expect_param` is re-armed by commas above; `const` params do
+                // not occur on serde-derived types in this workspace.
+                params.push_str(&text);
+                // A lifetime's tick must stay glued to its ident (`'a`, never
+                // `' a`); every other token can be safely space-separated.
+                if !matches!(&token, TokenTree::Punct(p) if p.as_char() == '\'') {
+                    params.push(' ');
+                }
+                if let TokenTree::Punct(p) = &token {
+                    if p.as_char() == ',' && depth == 1 {
+                        expect_param = true;
+                    }
+                }
+            }
+            if !arg_names.is_empty() {
+                args = format!("<{}>", arg_names.join(", "));
+            }
+        }
+    }
+
+    ItemHeader { name, params, args }
+}
+
+/// Derives a no-op `serde::Serialize` impl (serialises as a unit).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let header = parse_header(input);
+    let ItemHeader { name, params, args } = &header;
+    let impl_generics = if params.is_empty() {
+        String::new()
+    } else {
+        params.clone()
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {name}{args} {{\n\
+             fn serialize<S>(&self, serializer: S) -> ::core::result::Result<S::Ok, S::Error>\n\
+             where S: ::serde::Serializer {{\n\
+                 serializer.serialize_unit()\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Serialize impl must parse")
+}
+
+/// Derives a `serde::Deserialize` impl that always errors.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let header = parse_header(input);
+    let ItemHeader { name, params, args } = &header;
+    let impl_generics = if params.is_empty() {
+        String::from("<'de>")
+    } else {
+        // Splice `'de` into the existing parameter list: `<T>` -> `<'de, T>`.
+        let inner = params.trim_start_matches('<');
+        format!("<'de, {inner}")
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Deserialize<'de> for {name}{args} {{\n\
+             fn deserialize<D>(_deserializer: D) -> ::core::result::Result<Self, D::Error>\n\
+             where D: ::serde::Deserializer<'de> {{\n\
+                 ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\n\
+                     \"serde stub: runtime deserialization is not supported offline\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Deserialize impl must parse")
+}
