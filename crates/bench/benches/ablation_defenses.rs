@@ -1,14 +1,17 @@
-//! Regenerates the countermeasure ablation of Section VIII of the paper and benchmarks the runner.
+//! Regenerates the SVIII countermeasure ablation and benchmarks the runner.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use parasite::experiments::{ExperimentId, Registry, RunConfig};
 
 fn bench(c: &mut Criterion) {
+    let experiment = Registry::get(ExperimentId::Ablation);
+    let config = RunConfig::default();
     // Print the regenerated artefact once, so `cargo bench` output contains
     // the paper-shaped rows alongside the timing.
-    println!("{}", parasite::experiments::ablation_defenses().render());
+    println!("{}", experiment.run(&config).render_text());
     let mut group = c.benchmark_group("ablation_defenses");
     group.sample_size(10);
-    group.bench_function("ablation_defenses", |b| b.iter(|| criterion::black_box(parasite::experiments::ablation_defenses())));
+    group.bench_function("ablation_defenses", |b| b.iter(|| criterion::black_box(experiment.run(&config))));
     group.finish();
 }
 

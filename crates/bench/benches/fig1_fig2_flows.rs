@@ -2,14 +2,16 @@
 //! packet-level injection race they are built from.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use parasite::experiments::{run_injection_race, ExperimentId, Registry, RunConfig};
 
 fn bench(c: &mut Criterion) {
-    println!("{}", parasite::experiments::fig1_eviction_flow().render());
-    println!("{}", parasite::experiments::fig2_infection_flow().render());
+    let config = RunConfig::default();
+    println!("{}", Registry::get(ExperimentId::Fig1).run(&config).render_text());
+    println!("{}", Registry::get(ExperimentId::Fig2).run(&config).render_text());
     let mut group = c.benchmark_group("fig1_fig2_flows");
     group.sample_size(10);
     group.bench_function("fig2_injection_race", |b| {
-        b.iter(|| criterion::black_box(parasite::experiments::run_injection_race(7)))
+        b.iter(|| criterion::black_box(run_injection_race(7)))
     });
     group.finish();
 }

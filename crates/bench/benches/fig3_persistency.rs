@@ -1,14 +1,17 @@
-//! Regenerates Figure 3 (object persistency over 100 days) of the paper and benchmarks the runner.
+//! Regenerates Figure 3 (object persistency crawl) and benchmarks the runner.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use parasite::experiments::{ExperimentId, Registry, RunConfig};
 
 fn bench(c: &mut Criterion) {
+    let experiment = Registry::get(ExperimentId::Fig3);
+    let config = RunConfig { crawl_sites: 1_500, ..RunConfig::default() };
     // Print the regenerated artefact once, so `cargo bench` output contains
     // the paper-shaped rows alongside the timing.
-    println!("{}", parasite::experiments::fig3_persistency(1500, 100, 2021).render());
+    println!("{}", experiment.run(&config).render_text());
     let mut group = c.benchmark_group("fig3_persistency");
     group.sample_size(10);
-    group.bench_function("fig3_persistency", |b| b.iter(|| criterion::black_box(parasite::experiments::fig3_persistency(1500, 100, 2021))));
+    group.bench_function("fig3_persistency", |b| b.iter(|| criterion::black_box(experiment.run(&config))));
     group.finish();
 }
 

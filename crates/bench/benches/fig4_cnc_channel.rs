@@ -1,14 +1,17 @@
-//! Regenerates Figure 4 (C&C covert channel) of the paper and benchmarks the runner.
+//! Regenerates Figure 4 (C\&C covert channel characterisation) and benchmarks the runner.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use parasite::experiments::{ExperimentId, Registry, RunConfig};
 
 fn bench(c: &mut Criterion) {
+    let experiment = Registry::get(ExperimentId::Fig4);
+    let config = RunConfig::default();
     // Print the regenerated artefact once, so `cargo bench` output contains
     // the paper-shaped rows alongside the timing.
-    println!("{}", parasite::experiments::fig4_cnc_channel().render());
+    println!("{}", experiment.run(&config).render_text());
     let mut group = c.benchmark_group("fig4_cnc_channel");
     group.sample_size(10);
-    group.bench_function("fig4_cnc_channel", |b| b.iter(|| criterion::black_box(parasite::experiments::fig4_cnc_channel())));
+    group.bench_function("fig4_cnc_channel", |b| b.iter(|| criterion::black_box(experiment.run(&config))));
     group.finish();
 }
 

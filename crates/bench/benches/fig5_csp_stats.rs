@@ -1,14 +1,17 @@
-//! Regenerates Figure 5 (CSP statistics and adoption numbers) of the paper and benchmarks the runner.
+//! Regenerates Figure 5 (CSP / HSTS / TLS policy scan) and benchmarks the runner.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use parasite::experiments::{ExperimentId, Registry, RunConfig};
 
 fn bench(c: &mut Criterion) {
+    let experiment = Registry::get(ExperimentId::Fig5);
+    let config = RunConfig { sites: 5_000, ..RunConfig::default() };
     // Print the regenerated artefact once, so `cargo bench` output contains
     // the paper-shaped rows alongside the timing.
-    println!("{}", parasite::experiments::fig5_csp_stats(5000, 2021).render());
+    println!("{}", experiment.run(&config).render_text());
     let mut group = c.benchmark_group("fig5_csp_stats");
     group.sample_size(10);
-    group.bench_function("fig5_csp_stats", |b| b.iter(|| criterion::black_box(parasite::experiments::fig5_csp_stats(5000, 2021))));
+    group.bench_function("fig5_csp_stats", |b| b.iter(|| criterion::black_box(experiment.run(&config))));
     group.finish();
 }
 

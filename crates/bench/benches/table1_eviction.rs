@@ -1,14 +1,17 @@
 //! Regenerates Table I (cache eviction per browser) of the paper and benchmarks the runner.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use parasite::experiments::{ExperimentId, Registry, RunConfig};
 
 fn bench(c: &mut Criterion) {
+    let experiment = Registry::get(ExperimentId::Table1);
+    let config = RunConfig::default();
     // Print the regenerated artefact once, so `cargo bench` output contains
     // the paper-shaped rows alongside the timing.
-    println!("{}", parasite::experiments::table1_cache_eviction(1000).render());
+    println!("{}", experiment.run(&config).render_text());
     let mut group = c.benchmark_group("table1_eviction");
     group.sample_size(10);
-    group.bench_function("table1_eviction", |b| b.iter(|| criterion::black_box(parasite::experiments::table1_cache_eviction(1000))));
+    group.bench_function("table1_eviction", |b| b.iter(|| criterion::black_box(experiment.run(&config))));
     group.finish();
 }
 

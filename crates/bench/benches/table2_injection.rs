@@ -1,14 +1,17 @@
-//! Regenerates Table II (TCP injection OS x browser matrix) of the paper and benchmarks the runner.
+//! Regenerates Table II (OS x browser TCP injection matrix) and benchmarks the runner.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use parasite::experiments::{ExperimentId, Registry, RunConfig};
 
 fn bench(c: &mut Criterion) {
+    let experiment = Registry::get(ExperimentId::Table2);
+    let config = RunConfig::default();
     // Print the regenerated artefact once, so `cargo bench` output contains
     // the paper-shaped rows alongside the timing.
-    println!("{}", parasite::experiments::table2_injection_matrix().render());
+    println!("{}", experiment.run(&config).render_text());
     let mut group = c.benchmark_group("table2_injection");
     group.sample_size(10);
-    group.bench_function("table2_injection", |b| b.iter(|| criterion::black_box(parasite::experiments::table2_injection_matrix())));
+    group.bench_function("table2_injection", |b| b.iter(|| criterion::black_box(experiment.run(&config))));
     group.finish();
 }
 

@@ -1,14 +1,17 @@
-//! Regenerates Table III (refresh methods vs Cache-API parasites) of the paper and benchmarks the runner.
+//! Regenerates Table III (refresh methods vs Cache-API parasites) and benchmarks the runner.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use parasite::experiments::{ExperimentId, Registry, RunConfig};
 
 fn bench(c: &mut Criterion) {
+    let experiment = Registry::get(ExperimentId::Table3);
+    let config = RunConfig::default();
     // Print the regenerated artefact once, so `cargo bench` output contains
     // the paper-shaped rows alongside the timing.
-    println!("{}", parasite::experiments::table3_refresh_methods().render());
+    println!("{}", experiment.run(&config).render_text());
     let mut group = c.benchmark_group("table3_refresh");
     group.sample_size(10);
-    group.bench_function("table3_refresh", |b| b.iter(|| criterion::black_box(parasite::experiments::table3_refresh_methods())));
+    group.bench_function("table3_refresh", |b| b.iter(|| criterion::black_box(experiment.run(&config))));
     group.finish();
 }
 

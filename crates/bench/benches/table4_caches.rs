@@ -1,14 +1,17 @@
-//! Regenerates Table IV (caches in the wild) of the paper and benchmarks the runner.
+//! Regenerates Table IV (caches in the wild) and benchmarks the runner.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use parasite::experiments::{ExperimentId, Registry, RunConfig};
 
 fn bench(c: &mut Criterion) {
+    let experiment = Registry::get(ExperimentId::Table4);
+    let config = RunConfig::default();
     // Print the regenerated artefact once, so `cargo bench` output contains
     // the paper-shaped rows alongside the timing.
-    println!("{}", parasite::experiments::table4_caches().render());
+    println!("{}", experiment.run(&config).render_text());
     let mut group = c.benchmark_group("table4_caches");
     group.sample_size(10);
-    group.bench_function("table4_caches", |b| b.iter(|| criterion::black_box(parasite::experiments::table4_caches())));
+    group.bench_function("table4_caches", |b| b.iter(|| criterion::black_box(experiment.run(&config))));
     group.finish();
 }
 

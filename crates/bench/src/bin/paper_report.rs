@@ -1,5 +1,141 @@
-//! Prints every regenerated table and figure of the paper.
+//! Regenerates the paper's tables and figures from the experiment registry.
+//!
+//! ```text
+//! paper-report                         # full text report, defaults
+//! paper-report --json --jobs 8         # machine-readable, parallel
+//! paper-report --only table1,fig3      # a subset of the artefacts
+//! paper-report --seed 7 --scale 500    # tweak the run configuration
+//! ```
 
-fn main() {
-    println!("{}", mp_bench::full_report());
+use mp_bench::{render_report, report_json, run_selected};
+use parasite::experiments::{ExperimentId, RunConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+paper-report: regenerate the tables and figures of The Master and Parasite Attack
+
+USAGE:
+    paper-report [OPTIONS]
+
+OPTIONS:
+    --only <ids>          run only these experiments (comma-separated ids,
+                          repeatable); default: all eleven
+    --seed <n>            RNG seed for populations and races [default: 2021]
+    --scale <n>           Table I cache-size divisor [default: 1000]
+    --sites <n>           Figure 5 population size [default: 15000]
+    --crawl-sites <n>     Figure 3 population size [default: 3000]
+    --days <n>            Figure 3 crawl length in days [default: 100]
+    --event-budget <n>    per-simulation event budget [default: 5000000]
+    --jobs <n>            worker threads for independent experiments [default: 1]
+    --json                emit one structured JSON document instead of text
+    --list                list the experiment ids and titles, then exit
+    -h, --help            print this help
+";
+
+struct Options {
+    ids: Vec<ExperimentId>,
+    config: RunConfig,
+    jobs: usize,
+    json: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut ids: Vec<ExperimentId> = Vec::new();
+    let mut config = RunConfig::default();
+    let mut jobs = 1usize;
+    let mut json = false;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_for = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--only" => {
+                for part in value_for("--only")?.split(',') {
+                    let id = part
+                        .parse::<ExperimentId>()
+                        .map_err(|error| error.to_string())?;
+                    if !ids.contains(&id) {
+                        ids.push(id);
+                    }
+                }
+            }
+            "--seed" => config.seed = parse_number(&value_for("--seed")?, "--seed")?,
+            "--scale" => config.scale = parse_number(&value_for("--scale")?, "--scale")?,
+            "--sites" => {
+                config.sites = usize::try_from(parse_number(&value_for("--sites")?, "--sites")?)
+                    .map_err(|_| "--sites is out of range".to_string())?;
+            }
+            "--crawl-sites" => {
+                config.crawl_sites =
+                    usize::try_from(parse_number(&value_for("--crawl-sites")?, "--crawl-sites")?)
+                        .map_err(|_| "--crawl-sites is out of range".to_string())?;
+            }
+            "--days" => {
+                config.days = u32::try_from(parse_number(&value_for("--days")?, "--days")?)
+                    .map_err(|_| format!("--days is out of range (max {})", u32::MAX))?;
+            }
+            "--event-budget" => {
+                config.event_budget = parse_number(&value_for("--event-budget")?, "--event-budget")?;
+                if config.event_budget == 0 {
+                    return Err("--event-budget must be at least 1".to_string());
+                }
+            }
+            "--jobs" => {
+                jobs = parse_number(&value_for("--jobs")?, "--jobs")? as usize;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
+            "--json" => json = true,
+            "--list" => {
+                for id in ExperimentId::ALL {
+                    println!("{:<10} {}", id.to_string(), id.title());
+                }
+                return Ok(None);
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+
+    // The paper's order, regardless of the order the ids were given in.
+    let ids = if ids.is_empty() {
+        ExperimentId::ALL.to_vec()
+    } else {
+        ExperimentId::ALL.into_iter().filter(|id| ids.contains(id)).collect()
+    };
+    Ok(Some(Options { ids, config, jobs, json }))
+}
+
+fn parse_number(text: &str, flag: &str) -> Result<u64, String> {
+    text.parse::<u64>()
+        .map_err(|_| format!("{flag}: expected a non-negative integer, got {text:?}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(Some(options)) => options,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let artifacts = run_selected(&options.ids, &options.config, options.jobs);
+    if options.json {
+        println!("{}", report_json(&options.config, &artifacts));
+    } else {
+        println!("{}", render_report(&artifacts));
+    }
+    ExitCode::SUCCESS
 }

@@ -1,48 +1,65 @@
 //! # mp-bench
 //!
 //! Benchmark and experiment harness for the *Master and Parasite Attack*
-//! reproduction. The Criterion benches under `benches/` regenerate every
-//! table and figure of the paper (printing the paper-shaped rows once, then
-//! measuring the hot path), and the `paper-report` binary prints the full set
-//! of artefacts in one run:
+//! reproduction, built on the [`parasite::experiments`] registry. The
+//! Criterion benches under `benches/` regenerate every table and figure of
+//! the paper (printing the paper-shaped rows once, then measuring the hot
+//! path), and the `paper-report` binary prints the full set of artefacts in
+//! one run — as text or as machine-readable JSON, sequentially or on a
+//! thread pool:
 //!
 //! ```text
 //! cargo run -p mp-bench --bin paper-report
+//! cargo run -p mp-bench --bin paper-report -- --json --jobs 8
+//! cargo run -p mp-bench --bin paper-report -- --only table1,fig3 --seed 7
 //! cargo bench -p mp-bench
 //! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// Renders every table and figure of the paper into one report string.
+use parasite::experiments::{run_many, Artifact, ExperimentId, RunConfig};
+use parasite::json::{Json, ToJson};
+
+/// Runs the given experiments under one configuration on `jobs` worker
+/// threads, in the paper's order.
+pub fn run_selected(ids: &[ExperimentId], config: &RunConfig, jobs: usize) -> Vec<Artifact> {
+    run_many(ids, std::slice::from_ref(config), jobs)
+}
+
+/// Runs all eleven experiments under one configuration.
+pub fn run_all(config: &RunConfig, jobs: usize) -> Vec<Artifact> {
+    run_selected(&ExperimentId::ALL, config, jobs)
+}
+
+/// Renders artifacts into the classic text report: every table and figure of
+/// the paper, separated by blank lines.
+pub fn render_report(artifacts: &[Artifact]) -> String {
+    artifacts
+        .iter()
+        .map(Artifact::render_text)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Packs artifacts into one machine-readable JSON document:
+/// `{"config": {…}, "artifacts": [{…}, …]}`.
+pub fn report_json(config: &RunConfig, artifacts: &[Artifact]) -> Json {
+    Json::obj([
+        ("config", config.to_json()),
+        ("artifacts", artifacts.to_json()),
+    ])
+}
+
+/// Renders every table and figure of the paper into one report string with
+/// the default configuration (the classic `paper-report` output).
 pub fn full_report() -> String {
-    use parasite::experiments as exp;
-    let mut out = String::new();
-    out.push_str(&exp::table1_cache_eviction(1000).render());
-    out.push('\n');
-    out.push_str(&exp::table2_injection_matrix().render());
-    out.push('\n');
-    out.push_str(&exp::table3_refresh_methods().render());
-    out.push('\n');
-    out.push_str(&exp::table4_caches().render());
-    out.push('\n');
-    out.push_str(&exp::table5_attacks().render());
-    out.push('\n');
-    out.push_str(&exp::fig1_eviction_flow().render());
-    out.push('\n');
-    out.push_str(&exp::fig2_infection_flow().render());
-    out.push('\n');
-    out.push_str(&exp::fig3_persistency(3000, 100, 2021).render());
-    out.push('\n');
-    out.push_str(&exp::fig4_cnc_channel().render());
-    out.push('\n');
-    out.push_str(&exp::fig5_csp_stats(15_000, 2021).render());
-    out.push('\n');
-    out.push_str(&exp::ablation_defenses().render());
-    out
+    render_report(&run_all(&RunConfig::default(), 1))
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn full_report_mentions_every_artifact() {
         let report = super::full_report();
@@ -53,5 +70,30 @@ mod tests {
         ] {
             assert!(report.contains(needle), "report is missing {needle}");
         }
+    }
+
+    #[test]
+    fn report_json_wraps_config_and_artifacts() {
+        let config = RunConfig {
+            sites: 1_000,
+            crawl_sites: 300,
+            days: 10,
+            ..RunConfig::default()
+        };
+        let artifacts = run_selected(&[ExperimentId::Fig4, ExperimentId::Ablation], &config, 2);
+        let json = report_json(&config, &artifacts);
+        let parsed = Json::parse(&json.to_string()).expect("report JSON parses");
+        assert_eq!(
+            parsed.get("config").and_then(|c| c.get("sites")).and_then(Json::as_u64),
+            Some(1_000)
+        );
+        let ids: Vec<&str> = parsed
+            .get("artifacts")
+            .and_then(Json::as_array)
+            .expect("artifact array")
+            .iter()
+            .filter_map(|a| a.get("id").and_then(Json::as_str))
+            .collect();
+        assert_eq!(ids, vec!["fig4", "ablation"]);
     }
 }

@@ -1,0 +1,53 @@
+//! Machine-readability smoke test: the `--json` report must parse as JSON
+//! and contain one structured artifact per experiment id, and the parallel
+//! batch runner must produce exactly the sequential results.
+
+use mp_bench::{render_report, report_json, run_all};
+use parasite::experiments::{ExperimentId, RunConfig};
+use parasite::json::Json;
+
+/// A configuration small enough to run the full suite in seconds.
+fn quick_config() -> RunConfig {
+    RunConfig {
+        sites: 1_500,
+        crawl_sites: 400,
+        days: 20,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn json_report_parses_and_covers_all_eleven_experiments() {
+    let config = quick_config();
+    let artifacts = run_all(&config, 4);
+    let text = report_json(&config, &artifacts).to_string();
+    let parsed = Json::parse(&text).expect("the JSON report must parse");
+
+    let ids: Vec<&str> = parsed
+        .get("artifacts")
+        .and_then(Json::as_array)
+        .expect("report carries an artifact array")
+        .iter()
+        .map(|a| a.get("id").and_then(Json::as_str).expect("artifact has an id"))
+        .collect();
+    let expected: Vec<&str> = ExperimentId::ALL.iter().map(|id| id.as_str()).collect();
+    assert_eq!(ids, expected, "one artifact per experiment, in the paper's order");
+
+    // Every artifact carries the config it ran under and a structured body.
+    for artifact in parsed.get("artifacts").and_then(Json::as_array).unwrap() {
+        assert_eq!(
+            artifact.get("config").and_then(|c| c.get("crawl_sites")).and_then(Json::as_u64),
+            Some(400)
+        );
+        assert!(artifact.get("data").is_some(), "artifact has structured data");
+    }
+}
+
+#[test]
+fn parallel_report_matches_sequential_report() {
+    let config = quick_config();
+    let sequential = run_all(&config, 1);
+    let parallel = run_all(&config, 8);
+    assert_eq!(sequential, parallel);
+    assert_eq!(render_report(&sequential), render_report(&parallel));
+}

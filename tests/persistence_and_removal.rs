@@ -7,7 +7,7 @@ use mp_httpsim::body::{Body, ResourceKind};
 use mp_httpsim::message::Response;
 use mp_httpsim::transport::StaticOrigin;
 use mp_httpsim::url::Url;
-use parasite::experiments::{table3_refresh_methods, RemovalCell};
+use parasite::experiments::{ExperimentId, Registry, RemovalCell, RunConfig};
 use parasite::infect::Infector;
 use parasite::script::Parasite;
 
@@ -92,7 +92,8 @@ fn internet_explorer_has_no_cache_api_persistence_layer() {
 
 #[test]
 fn table3_experiment_matches_these_observations() {
-    let table = table3_refresh_methods();
+    let artifact = Registry::get(ExperimentId::Table3).run(&RunConfig::default());
+    let table = artifact.data.as_table3().expect("table3 artifact");
     for (browser, cells) in &table.rows {
         if browser == "IE" {
             assert!(cells.iter().all(|c| *c == RemovalCell::NotApplicable));

@@ -8,7 +8,7 @@ use mp_httpsim::body::ResourceKind;
 use mp_httpsim::transport::{Internet, StaticOrigin};
 use mp_httpsim::url::Url;
 use mp_webcache::{table4_entries, SharedCache};
-use parasite::experiments::table4_caches;
+use parasite::experiments::{ExperimentId, Registry, RunConfig};
 use parasite::infect::Infector;
 use parasite::injection::InjectingExchange;
 use parasite::propagation;
@@ -132,7 +132,8 @@ fn squid_proxy_spreads_the_infection_to_a_second_device() {
 
 #[test]
 fn table4_browser_rows_and_cdn_rows_are_infectable_over_http() {
-    let table = table4_caches();
+    let artifact = Registry::get(ExperimentId::Table4).run(&RunConfig::default());
+    let table = artifact.data.as_table4().expect("table4 artifact");
     for name in ["Desktop", "Smartphones", "Squid", "CDNs", "Fortigate", "CacheMara"] {
         let row = table.rows.iter().find(|r| r.name == name).unwrap();
         assert!(row.infected_over_http, "{name} should be infectable over http");

@@ -9,7 +9,9 @@ use mp_httpsim::url::Url;
 use mp_netsim::seq::SeqNum;
 use mp_netsim::tcp::Reassembler;
 use parasite::cnc::{decode_dimensions, decode_upstream, encode_dimensions, encode_upstream};
+use parasite::experiments::{ExperimentId, RunConfig};
 use parasite::infect::Infector;
+use parasite::json::{Json, ToJson};
 use parasite::script::{Parasite, ParasiteModule};
 use proptest::prelude::*;
 
@@ -134,5 +136,38 @@ proptest! {
         }
         let parsed = Url::parse(&url_string).expect("constructed urls parse");
         prop_assert_eq!(parsed.to_string(), url_string);
+    }
+
+    /// `ExperimentId` survives a Display → FromStr round trip for every
+    /// variant, including case-mangled and whitespace-padded spellings.
+    #[test]
+    fn experiment_id_display_from_str_round_trips(index in 0usize..11, mangle in 0u8..4) {
+        let id = ExperimentId::ALL[index];
+        let rendered = id.to_string();
+        let spelled = match mangle {
+            0 => rendered.clone(),
+            1 => rendered.to_uppercase(),
+            2 => format!("  {rendered}"),
+            _ => format!("{rendered}\t"),
+        };
+        prop_assert_eq!(spelled.parse::<ExperimentId>(), Ok(id));
+    }
+
+    /// `RunConfig` survives a JSON serialize → parse → deserialize round trip
+    /// for arbitrary field values (JSON numbers are doubles, so integers are
+    /// exact up to 2^53 — the same contract JavaScript consumers get).
+    #[test]
+    fn run_config_json_round_trips(
+        seed in 0u64..(1u64 << 53),
+        scale in 1u64..1_000_000,
+        sites in 0usize..1_000_000,
+        crawl_sites in 0usize..1_000_000,
+        days in 0u32..10_000,
+        event_budget in 1u64..100_000_000,
+    ) {
+        let config = RunConfig { seed, scale, sites, crawl_sites, days, event_budget };
+        let text = config.to_json().to_string();
+        let parsed = Json::parse(&text).expect("config JSON parses");
+        prop_assert_eq!(RunConfig::from_json(&parsed), Some(config));
     }
 }
