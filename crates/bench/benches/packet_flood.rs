@@ -1,0 +1,69 @@
+//! Packet-flood microbenchmark for the simulator hot path.
+//!
+//! Floods one client→server connection with pipelined requests (the server
+//! answering each with an MSS-sized response) and measures how many simulator
+//! events per second the transmit → trace → deliver path sustains under each
+//! trace recorder mode. `cargo bench -p mp-bench --bench packet_flood` prints
+//! an explicit events/sec line per mode before the criterion timings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mp_netsim::addr::IpAddr;
+use mp_netsim::capture::TraceMode;
+use mp_netsim::link::MediumKind;
+use mp_netsim::sim::{FixedResponder, Simulator};
+use mp_netsim::time::Duration;
+
+const REQUESTS: usize = 2_000;
+
+/// Builds the flood world, pushes `REQUESTS` pipelined requests through it and
+/// returns the number of events the simulator processed.
+fn flood(requests: usize, mode: TraceMode) -> u64 {
+    let mut sim = Simulator::new(7).with_trace_mode(mode);
+    let wifi = sim.add_medium(MediumKind::SharedWireless, 2_000);
+    let wan = sim.add_medium(MediumKind::WideArea, 40_000);
+    let client = sim.add_host("victim", IpAddr::new(10, 0, 0, 2), wifi);
+    let server = sim.add_host("server", IpAddr::new(203, 0, 113, 10), wan);
+    sim.listen(server, 80);
+    let response = vec![b'x'; 1_400];
+    sim.set_service(server, Box::new(FixedResponder::new(response, Duration::from_micros(100))));
+
+    let conn = sim.connect(client, server, 80).expect("hosts exist");
+    sim.run_until_idle().expect("flood stays within the event budget");
+    for _ in 0..requests {
+        sim.send(client, conn, b"GET /flood HTTP/1.1\r\nHost: flood.example\r\n\r\n")
+            .expect("established");
+    }
+    sim.run_until_idle().expect("flood stays within the event budget");
+    sim.events_processed()
+}
+
+const MODES: [(&str, TraceMode); 3] = [
+    ("full_trace", TraceMode::Full),
+    ("ring_1024", TraceMode::Ring(1024)),
+    ("summary_only", TraceMode::SummaryOnly),
+];
+
+fn bench(c: &mut Criterion) {
+    // Explicit throughput lines: events per wall-clock second per mode.
+    for (label, mode) in MODES {
+        let start = std::time::Instant::now();
+        let events = flood(REQUESTS, mode);
+        let elapsed = start.elapsed();
+        println!(
+            "packet_flood/{label}: {} events in {:?} ({:.0} events/sec)",
+            events,
+            elapsed,
+            events as f64 / elapsed.as_secs_f64()
+        );
+    }
+
+    let mut group = c.benchmark_group("packet_flood");
+    group.sample_size(10);
+    for (label, mode) in MODES {
+        group.bench_function(label, |b| b.iter(|| criterion::black_box(flood(REQUESTS, mode))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! paper-report --seed 7 --scale 500    # tweak the run configuration
 //! ```
 
-use mp_bench::{render_report, report_json, run_selected};
+use mp_bench::{render_report, report_json, try_run_selected};
 use parasite::experiments::{ExperimentId, RunConfig};
 use std::process::ExitCode;
 
@@ -19,13 +19,22 @@ USAGE:
 
 OPTIONS:
     --only <ids>          run only these experiments (comma-separated ids,
-                          repeatable); default: all eleven
+                          repeatable); default: the paper's eleven. Extension
+                          experiments (campaign_fleet) run only when named here
     --seed <n>            RNG seed for populations and races [default: 2021]
     --scale <n>           Table I cache-size divisor [default: 1000]
     --sites <n>           Figure 5 population size [default: 15000]
     --crawl-sites <n>     Figure 3 population size [default: 3000]
     --days <n>            Figure 3 crawl length in days [default: 100]
     --event-budget <n>    per-simulation event budget [default: 5000000]
+    --trace-mode <mode>   packet-trace recorder: full, summary or ring:<n>
+                          [default: full]
+    --jitter-us <n>       max per-packet WiFi jitter for the campaign fleet,
+                          in microseconds [default: 0]
+    --fleet-clients <n>   campaign_fleet: total simulated clients [default: 100000]
+    --fleet-aps <n>       campaign_fleet: number of cafe APs [default: 128]
+    --fleet-jobs <n>      campaign_fleet: worker threads for the per-AP sims
+                          (0 = auto-size to the machine) [default: 0]
     --jobs <n>            worker threads for independent experiments [default: 1]
     --json                emit one structured JSON document instead of text
     --list                list the experiment ids and titles, then exit
@@ -84,6 +93,32 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     return Err("--event-budget must be at least 1".to_string());
                 }
             }
+            "--trace-mode" => {
+                config.trace_mode = value_for("--trace-mode")?
+                    .parse()
+                    .map_err(|error: mp_netsim::capture::ParseTraceModeError| error.to_string())?;
+            }
+            "--jitter-us" => {
+                config.jitter_us = parse_number(&value_for("--jitter-us")?, "--jitter-us")?;
+            }
+            "--fleet-clients" => {
+                config.fleet_clients =
+                    usize::try_from(parse_number(&value_for("--fleet-clients")?, "--fleet-clients")?)
+                        .map_err(|_| "--fleet-clients is out of range".to_string())?;
+            }
+            "--fleet-aps" => {
+                config.fleet_aps =
+                    usize::try_from(parse_number(&value_for("--fleet-aps")?, "--fleet-aps")?)
+                        .map_err(|_| "--fleet-aps is out of range".to_string())?;
+                if config.fleet_aps == 0 {
+                    return Err("--fleet-aps must be at least 1".to_string());
+                }
+            }
+            "--fleet-jobs" => {
+                config.fleet_jobs =
+                    usize::try_from(parse_number(&value_for("--fleet-jobs")?, "--fleet-jobs")?)
+                        .map_err(|_| "--fleet-jobs is out of range".to_string())?;
+            }
             "--jobs" => {
                 jobs = parse_number(&value_for("--jobs")?, "--jobs")? as usize;
                 if jobs == 0 {
@@ -92,8 +127,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
             "--json" => json = true,
             "--list" => {
-                for id in ExperimentId::ALL {
-                    println!("{:<10} {}", id.to_string(), id.title());
+                for id in ExperimentId::EXTENDED {
+                    println!("{:<14} {}", id.to_string(), id.title());
                 }
                 return Ok(None);
             }
@@ -105,11 +140,13 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         }
     }
 
-    // The paper's order, regardless of the order the ids were given in.
+    // The registry's order, regardless of the order the ids were given in.
+    // Without --only, exactly the paper's eleven run (extensions are opt-in),
+    // so the default report stays stable.
     let ids = if ids.is_empty() {
         ExperimentId::ALL.to_vec()
     } else {
-        ExperimentId::ALL.into_iter().filter(|id| ids.contains(id)).collect()
+        ExperimentId::EXTENDED.into_iter().filter(|id| ids.contains(id)).collect()
     };
     Ok(Some(Options { ids, config, jobs, json }))
 }
@@ -131,11 +168,28 @@ fn main() -> ExitCode {
         }
     };
 
-    let artifacts = run_selected(&options.ids, &options.config, options.jobs);
+    let results = try_run_selected(&options.ids, &options.config, options.jobs);
+    let mut artifacts = Vec::new();
+    let mut failed = false;
+    for (id, result) in options.ids.iter().zip(results) {
+        match result {
+            Ok(artifact) => artifacts.push(artifact),
+            Err(error) => {
+                // One runaway experiment reports its error and the rest of
+                // the report still prints.
+                eprintln!("error: experiment {id} failed: {error}");
+                failed = true;
+            }
+        }
+    }
     if options.json {
         println!("{}", report_json(&options.config, &artifacts));
     } else {
         println!("{}", render_report(&artifacts));
     }
-    ExitCode::SUCCESS
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

@@ -17,13 +17,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use parasite::experiments::{run_many, Artifact, ExperimentId, RunConfig};
+use parasite::experiments::{run_many, try_run_many, Artifact, ExperimentError, ExperimentId, RunConfig};
 use parasite::json::{Json, ToJson};
 
 /// Runs the given experiments under one configuration on `jobs` worker
 /// threads, in the paper's order.
 pub fn run_selected(ids: &[ExperimentId], config: &RunConfig, jobs: usize) -> Vec<Artifact> {
     run_many(ids, std::slice::from_ref(config), jobs)
+}
+
+/// [`run_selected`] with per-experiment error isolation: a scenario that
+/// exhausts its event budget reports an [`ExperimentError`] in its own slot
+/// while the other experiments complete.
+pub fn try_run_selected(
+    ids: &[ExperimentId],
+    config: &RunConfig,
+    jobs: usize,
+) -> Vec<Result<Artifact, ExperimentError>> {
+    try_run_many(ids, std::slice::from_ref(config), jobs)
 }
 
 /// Runs all eleven experiments under one configuration.

@@ -44,6 +44,42 @@ fn json_report_parses_and_covers_all_eleven_experiments() {
 }
 
 #[test]
+fn campaign_fleet_json_is_structured_and_opt_in() {
+    let config = RunConfig {
+        fleet_clients: 640,
+        fleet_aps: 8,
+        ..quick_config()
+    };
+    // The default report does not include the extension experiment...
+    assert!(!ExperimentId::ALL.contains(&ExperimentId::CampaignFleet));
+    // ...but selecting it explicitly yields a parseable structured artifact.
+    let results = mp_bench::try_run_selected(&[ExperimentId::CampaignFleet], &config, 1);
+    let artifact = results[0].as_ref().expect("small fleet completes");
+    let parsed = Json::parse(&report_json(&config, std::slice::from_ref(artifact)).to_string())
+        .expect("campaign JSON parses");
+    let entry = &parsed.get("artifacts").and_then(Json::as_array).unwrap()[0];
+    assert_eq!(entry.get("id").and_then(Json::as_str), Some("campaign_fleet"));
+    let data = entry.get("data").expect("structured data");
+    assert_eq!(data.get("clients").and_then(Json::as_u64), Some(640));
+    let infected = data.get("infected_clients").and_then(Json::as_u64).unwrap();
+    let clean = data.get("clean_clients").and_then(Json::as_u64).unwrap();
+    assert_eq!(infected + clean, 640);
+    assert_eq!(data.get("failed_aps").and_then(Json::as_u64), Some(0));
+}
+
+#[test]
+fn starved_experiment_reports_an_error_without_sinking_the_report() {
+    let config = RunConfig {
+        event_budget: 3,
+        ..quick_config()
+    };
+    let results =
+        mp_bench::try_run_selected(&[ExperimentId::Fig2, ExperimentId::Ablation], &config, 2);
+    assert!(results[0].is_err(), "three events cannot complete a handshake");
+    assert!(results[1].is_ok(), "the sibling experiment still completes");
+}
+
+#[test]
 fn parallel_report_matches_sequential_report() {
     let config = quick_config();
     let sequential = run_all(&config, 1);

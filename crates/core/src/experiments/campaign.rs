@@ -1,0 +1,256 @@
+//! The population-scale campaign experiment: a fleet of café access points.
+//!
+//! The paper demonstrates the attack against one victim in one café; its
+//! measurements (Figures 3–5) presume the attacker operating a *campaign*
+//! over many victims. This experiment scales the Figure 2 packet-level race
+//! world to a fleet of café APs — `RunConfig::fleet_clients` simulated clients
+//! spread over `RunConfig::fleet_aps` independent shared-WiFi simulations,
+//! each with its own master tap racing the genuine server — and aggregates
+//! infection outcomes and trace summaries across the fleet.
+//!
+//! Every per-AP simulator runs with [`TraceMode::SummaryOnly`], so a
+//! 100k-client sweep retains **no per-packet memory**: only the bounded
+//! summary counters survive each AP. APs run in parallel on scoped worker
+//! threads, and an AP that exhausts its event budget is isolated (counted in
+//! `failed_aps`) instead of aborting the sweep.
+
+use super::tables::{build_race_world, RaceWorld};
+use super::{parallel_tasks, ExperimentError, RunConfig};
+use crate::json::{Json, ToJson};
+use crate::script::Parasite;
+use mp_httpsim::message::{Request, Response};
+use mp_httpsim::url::Url;
+use mp_netsim::addr::IpAddr;
+use mp_netsim::capture::TraceMode;
+use mp_netsim::error::NetError;
+use mp_netsim::time::Duration as SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One AP addresses its clients out of `10.x.y.2`, so a single simulation
+/// holds at most a /16 of them.
+const MAX_CLIENTS_PER_AP: usize = 65_536;
+
+/// Result of the campaign fleet experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignFleetResult {
+    /// Access points simulated.
+    pub aps: usize,
+    /// Total simulated clients across the fleet.
+    pub clients: usize,
+    /// Clients that ended up executing the parasite.
+    pub infected_clients: usize,
+    /// Clients that kept the genuine object (they requested an object the
+    /// master had not prepared).
+    pub clean_clients: usize,
+    /// APs whose simulation failed (event budget exhausted); their clients
+    /// count as neither infected nor clean.
+    pub failed_aps: usize,
+    /// Simulator events processed across the whole fleet.
+    pub total_events: u64,
+    /// Application payload bytes that crossed the fleet's networks.
+    pub payload_bytes: u64,
+    /// Spoofed transmissions injected by the masters.
+    pub injected_events: u64,
+    /// Pre-handshake send buffers evicted fleet-wide (failed connections).
+    pub pending_bytes_dropped: u64,
+}
+
+impl CampaignFleetResult {
+    /// Fraction of simulated clients that ended up infected.
+    pub fn infection_rate(&self) -> f64 {
+        if self.clients == 0 {
+            0.0
+        } else {
+            self.infected_clients as f64 / self.clients as f64
+        }
+    }
+
+    /// Renders the campaign summary.
+    pub fn render(&self) -> String {
+        format!(
+            "Campaign - population-scale cafe-AP fleet sweep\n\
+             access points:            {:>10}\n\
+             simulated clients:        {:>10}\n\
+             infected clients:         {:>10}  ({:.1} %)\n\
+             clean clients:            {:>10}\n\
+             failed APs:               {:>10}\n\
+             simulator events:         {:>10}\n\
+             payload bytes:            {:>10}\n\
+             injected responses:       {:>10}\n\
+             pending bytes dropped:    {:>10}\n",
+            self.aps,
+            self.clients,
+            self.infected_clients,
+            self.infection_rate() * 100.0,
+            self.clean_clients,
+            self.failed_aps,
+            self.total_events,
+            self.payload_bytes,
+            self.injected_events,
+            self.pending_bytes_dropped,
+        )
+    }
+}
+
+impl ToJson for CampaignFleetResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("aps", self.aps.to_json()),
+            ("clients", self.clients.to_json()),
+            ("infected_clients", self.infected_clients.to_json()),
+            ("clean_clients", self.clean_clients.to_json()),
+            ("failed_aps", self.failed_aps.to_json()),
+            ("infection_rate", self.infection_rate().to_json()),
+            ("total_events", self.total_events.to_json()),
+            ("payload_bytes", self.payload_bytes.to_json()),
+            ("injected_events", self.injected_events.to_json()),
+            ("pending_bytes_dropped", self.pending_bytes_dropped.to_json()),
+        ])
+    }
+}
+
+/// One AP's share of the fleet.
+struct ApTask {
+    seed: u64,
+    clients: usize,
+}
+
+/// Aggregate outcome of one AP simulation.
+struct ApOutcome {
+    infected: usize,
+    clean: usize,
+    events: u64,
+    payload_bytes: u64,
+    injected_events: u64,
+    pending_bytes_dropped: u64,
+}
+
+/// SplitMix64 finaliser, used to derive well-mixed per-AP seeds.
+fn mix_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed.wrapping_add(index.wrapping_mul(0x9e3779b97f4a7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Every eighth client asks for an object the master has *not* prepared, so
+/// the fleet exercises both the winning race and the passthrough path.
+fn requests_unprepared_object(client_index: usize) -> bool {
+    client_index % 8 == 7
+}
+
+/// Simulates one café AP: `task.clients` victims joining the shared-WiFi
+/// race world of [`build_race_world`] (the exact Figure 2 / Table II
+/// topology and timing), with an always-bounded `SummaryOnly` trace.
+fn simulate_ap(task: &ApTask, config: &RunConfig) -> Result<ApOutcome, NetError> {
+    let RaceWorld {
+        mut sim,
+        wifi,
+        server,
+        target,
+    } = build_race_world(task.seed, 300, 40_000, config.event_budget, TraceMode::SummaryOnly);
+    if config.jitter_us > 0 {
+        sim.set_medium_jitter(wifi, SimDuration::from_micros(config.jitter_us));
+    }
+
+    let other = Url::parse("http://somesite.com/weather.js").expect("static url");
+    let mut connections = Vec::with_capacity(task.clients);
+    for index in 0..task.clients {
+        let ip = IpAddr::new(10, (index >> 8) as u8, (index & 0xff) as u8, 2);
+        let client = sim.add_host("client", ip, wifi);
+        let conn = sim.connect(client, server, 80)?;
+        let url = if requests_unprepared_object(index) { &other } else { &target };
+        sim.send(client, conn, &Request::get(url.clone()).to_wire())?;
+        connections.push((client, conn));
+    }
+    sim.run_until_idle()?;
+
+    let mut infected = 0usize;
+    let mut clean = 0usize;
+    for (client, conn) in connections {
+        let delivered = sim.received(client, conn);
+        let got_parasite = Response::from_wire(&delivered)
+            .ok()
+            .map(|r| Parasite::detect(&r.body.as_text()).is_some())
+            .unwrap_or(false);
+        if got_parasite {
+            infected += 1;
+        } else {
+            clean += 1;
+        }
+    }
+
+    let summary = *sim.trace().summary();
+    Ok(ApOutcome {
+        infected,
+        clean,
+        events: sim.events_processed(),
+        payload_bytes: summary.payload_bytes,
+        injected_events: summary.injected_events,
+        pending_bytes_dropped: summary.pending_bytes_dropped,
+    })
+}
+
+/// Runs the campaign fleet sweep: `config.fleet_clients` clients spread over
+/// `config.fleet_aps` independent AP simulations executed on scoped worker
+/// threads, aggregated deterministically in AP order.
+pub(super) fn campaign_fleet(config: &RunConfig) -> Result<CampaignFleetResult, ExperimentError> {
+    let aps = config.fleet_aps.max(1);
+    let total_clients = config.fleet_clients;
+    let base = total_clients / aps;
+    let remainder = total_clients % aps;
+    let largest_ap = base + usize::from(remainder > 0);
+    if largest_ap > MAX_CLIENTS_PER_AP {
+        return Err(ExperimentError::Config(format!(
+            "{total_clients} clients over {aps} APs puts {largest_ap} on one AP; \
+             one AP holds at most {MAX_CLIENTS_PER_AP} — raise fleet_aps"
+        )));
+    }
+    let tasks: Vec<ApTask> = (0..aps)
+        .map(|index| ApTask {
+            seed: mix_seed(config.seed, index as u64),
+            clients: base + usize::from(index < remainder),
+        })
+        .collect();
+
+    let jobs = if config.fleet_jobs == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        config.fleet_jobs
+    }
+    .min(aps);
+    let outcomes = parallel_tasks(&tasks, jobs, |task| simulate_ap(task, config));
+
+    let mut result = CampaignFleetResult {
+        aps,
+        clients: total_clients,
+        infected_clients: 0,
+        clean_clients: 0,
+        failed_aps: 0,
+        total_events: 0,
+        payload_bytes: 0,
+        injected_events: 0,
+        pending_bytes_dropped: 0,
+    };
+    for outcome in outcomes {
+        match outcome {
+            Ok(ap) => {
+                result.infected_clients += ap.infected;
+                result.clean_clients += ap.clean;
+                result.total_events += ap.events;
+                result.payload_bytes += ap.payload_bytes;
+                result.injected_events += ap.injected_events;
+                result.pending_bytes_dropped += ap.pending_bytes_dropped;
+            }
+            Err(_) => result.failed_aps += 1,
+        }
+    }
+    // A fleet where every single AP failed is a configuration error worth
+    // surfacing as such, not an all-zero artifact.
+    if result.failed_aps == aps {
+        return Err(ExperimentError::Net(NetError::EventBudgetExhausted {
+            budget: config.event_budget,
+        }));
+    }
+    Ok(result)
+}

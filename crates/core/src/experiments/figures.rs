@@ -1,6 +1,6 @@
 //! Figure 1–5 and §VIII ablation runners and their result types.
 
-use super::{RunConfig, MASTER_HOST};
+use super::{ExperimentError, RunConfig, MASTER_HOST};
 use crate::cnc::{downstream_goodput_bytes_per_sec, CncServer, Command};
 use crate::defense::{ablation_matrix, AblationRow, AttackStage};
 use crate::eviction::{junk_origin, EvictionAttack};
@@ -47,7 +47,7 @@ impl ToJson for FlowTrace {
 }
 
 /// Regenerates the Figure 1 cache-eviction flow from a browser-level run.
-pub(super) fn fig1_eviction_flow(_config: &RunConfig) -> FlowTrace {
+pub(super) fn fig1_eviction_flow(_config: &RunConfig) -> Result<FlowTrace, ExperimentError> {
     let mut victim_site = StaticOrigin::new("any.com");
     victim_site.put_text("/index.html", ResourceKind::Html, "<html><body>any</body></html>", "no-cache");
     let mut popular = StaticOrigin::new("popular.com");
@@ -82,24 +82,33 @@ pub(super) fn fig1_eviction_flow(_config: &RunConfig) -> FlowTrace {
         "victim -> popular.com: GET /img.png ({}; cache was flushed)",
         match refetch.source {
             FetchSource::Network => "fresh network fetch",
-            other => return FlowTrace { title: "Figure 1".into(), steps: vec![format!("unexpected source {other:?}")] },
+            other => {
+                return Ok(FlowTrace { title: "Figure 1".into(), steps: vec![format!("unexpected source {other:?}")] })
+            }
         }
     ));
-    FlowTrace {
+    Ok(FlowTrace {
         title: "Figure 1 - cache eviction message flow".to_string(),
         steps,
-    }
+    })
 }
 
 /// Regenerates the Figure 2 cache-infection flow from a packet-level run
 /// (the same race world Table II evaluates, read through its packet trace).
-pub(super) fn fig2_infection_flow(config: &RunConfig) -> FlowTrace {
-    let race = super::tables::run_race_simulation(config.seed, 300, 40_000, config.event_budget);
-    let mut steps: Vec<String> = race
-        .sim
-        .trace()
+/// The flow needs the actual events, so this experiment always records a full
+/// trace regardless of `config.trace_mode`.
+pub(super) fn fig2_infection_flow(config: &RunConfig) -> Result<FlowTrace, ExperimentError> {
+    let race = super::tables::run_race_simulation(
+        config.seed,
+        300,
+        40_000,
+        config.event_budget,
+        mp_netsim::capture::TraceMode::Full,
+    )?;
+    let trace = race.sim.trace();
+    let mut steps: Vec<String> = trace
         .with_payload()
-        .map(|event| event.describe())
+        .map(|event| trace.describe(event))
         .collect();
 
     // Step 3/4 of the figure: the parasite reloads the original object with a
@@ -112,10 +121,10 @@ pub(super) fn fig2_infection_flow(config: &RunConfig) -> FlowTrace {
         steps.push(format!("victim -> {host}: GET /persistent.js (propagation) [ATTACK]"));
     }
 
-    FlowTrace {
+    Ok(FlowTrace {
         title: "Figure 2 - cache infection message flow (packet-level race)".to_string(),
         steps,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -165,10 +174,10 @@ impl ToJson for Fig3Result {
 
 /// Runs the Figure 3 persistency crawl over a generated population of
 /// `config.crawl_sites` sites for `config.days` days.
-pub(super) fn fig3_persistency(config: &RunConfig) -> Fig3Result {
+pub(super) fn fig3_persistency(config: &RunConfig) -> Result<Fig3Result, ExperimentError> {
     let population = Population::generate(PopulationConfig::small(config.crawl_sites, config.seed));
     let series = Crawler::new(population).run(config.days);
-    Fig3Result { series }
+    Ok(Fig3Result { series })
 }
 
 // ---------------------------------------------------------------------------
@@ -226,7 +235,7 @@ impl ToJson for Fig4Result {
 }
 
 /// Runs the Figure 4 C&C channel experiment.
-pub(super) fn fig4_cnc_channel(_config: &RunConfig) -> Fig4Result {
+pub(super) fn fig4_cnc_channel(_config: &RunConfig) -> Result<Fig4Result, ExperimentError> {
     let goodput_curve = [1u32, 5, 10, 25, 50]
         .into_iter()
         .map(|parallel| (parallel, downstream_goodput_bytes_per_sec(parallel, 1.0)))
@@ -250,11 +259,11 @@ pub(super) fn fig4_cnc_channel(_config: &RunConfig) -> Fig4Result {
     let url = crate::cnc::encode_upstream(MASTER_HOST, "campaign-0", exfil);
     server.receive_upstream(&url);
 
-    Fig4Result {
+    Ok(Fig4Result {
         goodput_curve,
         command_bytes_delivered: if decoded == command_bytes { command_bytes.len() } else { 0 },
         upstream_bytes_delivered: server.exfiltrated().first().map(|r| r.data.len()).unwrap_or(0),
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -356,11 +365,11 @@ impl ToJson for Fig5Result {
 
 /// Runs the Figure 5 policy scan over a generated population of
 /// `config.sites` sites.
-pub(super) fn fig5_csp_stats(config: &RunConfig) -> Fig5Result {
+pub(super) fn fig5_csp_stats(config: &RunConfig) -> Result<Fig5Result, ExperimentError> {
     let population = Population::generate(PopulationConfig::small(config.sites, config.seed));
-    Fig5Result {
+    Ok(Fig5Result {
         scan: scan(&population),
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -419,8 +428,8 @@ impl ToJson for AblationResult {
 }
 
 /// Runs the §VIII defence ablation.
-pub(super) fn ablation_defenses(_config: &RunConfig) -> AblationResult {
-    AblationResult {
+pub(super) fn ablation_defenses(_config: &RunConfig) -> Result<AblationResult, ExperimentError> {
+    Ok(AblationResult {
         rows: ablation_matrix(),
-    }
+    })
 }

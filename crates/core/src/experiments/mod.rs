@@ -3,10 +3,15 @@
 //! Every artefact of the evaluation — Tables I–V, Figures 1–5 and the §VIII
 //! defence ablation — is reproduced by an experiment implementing the
 //! [`Experiment`] trait: `id()` names it with an [`ExperimentId`] and
-//! `run(&RunConfig)` produces an [`Artifact`] carrying the structured result
-//! plus uniform text ([`Artifact::render_text`]) and JSON
-//! ([`Artifact::to_json`]) output. [`Registry::all`] enumerates the eleven
-//! experiments and [`run_many`] executes id × config sweeps on a thread pool.
+//! `try_run(&RunConfig)` produces an [`Artifact`] carrying the structured
+//! result plus uniform text ([`Artifact::render_text`]) and JSON
+//! ([`Artifact::to_json`]) output, or a typed [`ExperimentError`] (e.g. an
+//! exhausted event budget). [`Registry::all`] enumerates the paper's eleven
+//! experiments, [`Registry::extended`] adds the population-scale
+//! [`ExperimentId::CampaignFleet`] sweep, and [`run_many`] /
+//! [`try_run_many`] execute id × config sweeps on a thread pool —
+//! `try_run_many` isolates each task, so one failing scenario reports its
+//! error without aborting its siblings.
 //!
 //! ```rust
 //! use parasite::experiments::{ExperimentId, Registry, RunConfig};
@@ -18,9 +23,11 @@
 //! assert!(artifact.to_json().to_string().contains("clear_cookies"));
 //! ```
 
+mod campaign;
 mod figures;
 mod tables;
 
+pub use campaign::CampaignFleetResult;
 pub use figures::{AblationResult, Fig3Result, Fig4Result, Fig5Result, FlowTrace};
 pub use tables::{
     injection_race_with_timing, run_injection_race, InjectionCell, RefreshMethod, RemovalCell,
@@ -30,8 +37,11 @@ pub use tables::{
 use crate::infect::Infector;
 use crate::json::{Json, ToJson};
 use crate::script::Parasite;
+use mp_netsim::capture::TraceMode;
+use mp_netsim::error::NetError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -47,7 +57,9 @@ pub(crate) fn standard_infector() -> Infector {
 // Experiment identifiers
 // ---------------------------------------------------------------------------
 
-/// Identifier of one of the paper's eleven experiments.
+/// Identifier of one of the paper's eleven experiments, or of an extension
+/// experiment that goes beyond the paper (currently
+/// [`ExperimentId::CampaignFleet`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum ExperimentId {
     /// Table I — cache eviction on popular browsers.
@@ -72,10 +84,15 @@ pub enum ExperimentId {
     Fig5,
     /// §VIII — defence ablation.
     Ablation,
+    /// Extension — population-scale café-AP fleet sweep (not a paper
+    /// artefact; it scales the Figure 2 race world to ~100k clients).
+    CampaignFleet,
 }
 
 impl ExperimentId {
-    /// All eleven experiments, in the paper's order.
+    /// The paper's eleven experiments, in the paper's order. The default
+    /// `paper-report` runs exactly these, so the classic report stays
+    /// byte-identical; extension experiments are opt-in via `--only`.
     pub const ALL: [ExperimentId; 11] = [
         ExperimentId::Table1,
         ExperimentId::Table2,
@@ -88,6 +105,22 @@ impl ExperimentId {
         ExperimentId::Fig4,
         ExperimentId::Fig5,
         ExperimentId::Ablation,
+    ];
+
+    /// Every registered experiment: the paper's eleven plus the extensions.
+    pub const EXTENDED: [ExperimentId; 12] = [
+        ExperimentId::Table1,
+        ExperimentId::Table2,
+        ExperimentId::Table3,
+        ExperimentId::Table4,
+        ExperimentId::Table5,
+        ExperimentId::Fig1,
+        ExperimentId::Fig2,
+        ExperimentId::Fig3,
+        ExperimentId::Fig4,
+        ExperimentId::Fig5,
+        ExperimentId::Ablation,
+        ExperimentId::CampaignFleet,
     ];
 
     /// The canonical id string (what [`fmt::Display`] prints and
@@ -105,6 +138,7 @@ impl ExperimentId {
             ExperimentId::Fig4 => "fig4",
             ExperimentId::Fig5 => "fig5",
             ExperimentId::Ablation => "ablation",
+            ExperimentId::CampaignFleet => "campaign_fleet",
         }
     }
 
@@ -122,6 +156,7 @@ impl ExperimentId {
             ExperimentId::Fig4 => "Figure 4 - C&C channel characterisation",
             ExperimentId::Fig5 => "Figure 5 - CSP / HSTS / TLS measurement",
             ExperimentId::Ablation => "Countermeasure ablation (SVIII)",
+            ExperimentId::CampaignFleet => "Campaign - population-scale cafe-AP fleet sweep",
         }
     }
 }
@@ -145,7 +180,7 @@ impl fmt::Display for ParseExperimentIdError {
             f,
             "unknown experiment id {:?} (expected one of: {})",
             self.input,
-            ExperimentId::ALL.map(|id| id.as_str()).join(", ")
+            ExperimentId::EXTENDED.map(|id| id.as_str()).join(", ")
         )
     }
 }
@@ -157,7 +192,7 @@ impl FromStr for ExperimentId {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let needle = s.trim().to_ascii_lowercase();
-        ExperimentId::ALL
+        ExperimentId::EXTENDED
             .into_iter()
             .find(|id| id.as_str() == needle)
             .ok_or_else(|| ParseExperimentIdError {
@@ -188,6 +223,23 @@ pub struct RunConfig {
     /// Event budget per packet-level simulation (see
     /// [`mp_netsim::sim::Simulator::with_event_budget`]).
     pub event_budget: u64,
+    /// Trace recorder mode for packet-level simulations: `Full` retains every
+    /// transmission (the classic behaviour, required by the Figure 2 flow),
+    /// `Ring(n)` bounds memory to the most recent *n*, `SummaryOnly` keeps
+    /// counters only.
+    pub trace_mode: TraceMode,
+    /// Maximum per-packet WiFi jitter in microseconds for the campaign fleet
+    /// sweep (drawn from the seeded RNG; zero disables jitter).
+    pub jitter_us: u64,
+    /// Total simulated clients across the campaign fleet sweep.
+    pub fleet_clients: usize,
+    /// Number of café access points the fleet's clients are spread over (one
+    /// packet-level simulation per AP).
+    pub fleet_aps: usize,
+    /// Worker threads for the fleet's per-AP simulations; `0` (the default)
+    /// auto-sizes to the machine. Set to `1` to keep a campaign run
+    /// single-threaded, e.g. when it is itself one task of a parallel sweep.
+    pub fleet_jobs: usize,
 }
 
 impl Default for RunConfig {
@@ -199,6 +251,11 @@ impl Default for RunConfig {
             crawl_sites: 3_000,
             days: 100,
             event_budget: mp_netsim::sim::DEFAULT_EVENT_BUDGET,
+            trace_mode: TraceMode::Full,
+            jitter_us: 0,
+            fleet_clients: 100_000,
+            fleet_aps: 128,
+            fleet_jobs: 0,
         }
     }
 }
@@ -223,6 +280,19 @@ impl RunConfig {
             })?,
             days: field(json, "days", defaults.days, |v| v.as_u64().map(|n| n as u32))?,
             event_budget: field(json, "event_budget", defaults.event_budget, Json::as_u64)?,
+            trace_mode: field(json, "trace_mode", defaults.trace_mode, |v| {
+                v.as_str().and_then(|s| s.parse::<TraceMode>().ok())
+            })?,
+            jitter_us: field(json, "jitter_us", defaults.jitter_us, Json::as_u64)?,
+            fleet_clients: field(json, "fleet_clients", defaults.fleet_clients, |v| {
+                v.as_u64().map(|n| n as usize)
+            })?,
+            fleet_aps: field(json, "fleet_aps", defaults.fleet_aps, |v| {
+                v.as_u64().map(|n| n as usize)
+            })?,
+            fleet_jobs: field(json, "fleet_jobs", defaults.fleet_jobs, |v| {
+                v.as_u64().map(|n| n as usize)
+            })?,
         })
     }
 }
@@ -236,7 +306,58 @@ impl ToJson for RunConfig {
             ("crawl_sites", self.crawl_sites.to_json()),
             ("days", self.days.to_json()),
             ("event_budget", self.event_budget.to_json()),
+            ("trace_mode", self.trace_mode.to_string().to_json()),
+            ("jitter_us", self.jitter_us.to_json()),
+            ("fleet_clients", self.fleet_clients.to_json()),
+            ("fleet_aps", self.fleet_aps.to_json()),
+            ("fleet_jobs", self.fleet_jobs.to_json()),
         ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Experiment errors
+// ---------------------------------------------------------------------------
+
+/// Why an experiment run failed. Carried per artifact slot by
+/// [`try_run_many`], so one failing scenario cannot abort a batch sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExperimentError {
+    /// A packet-level simulation failed — most commonly
+    /// [`NetError::EventBudgetExhausted`] from a runaway scenario.
+    Net(NetError),
+    /// The configuration is outside what the experiment can simulate (e.g. a
+    /// campaign fleet packing more clients onto one AP than its address
+    /// space holds).
+    Config(String),
+    /// The experiment panicked; the panic was caught at the task boundary and
+    /// its message preserved.
+    Panicked(String),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Net(error) => write!(f, "network simulation failed: {error}"),
+            ExperimentError::Config(message) => write!(f, "invalid configuration: {message}"),
+            ExperimentError::Panicked(message) => write!(f, "experiment panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Net(error) => Some(error),
+            ExperimentError::Config(_) | ExperimentError::Panicked(_) => None,
+        }
+    }
+}
+
+impl From<NetError> for ExperimentError {
+    fn from(error: NetError) -> Self {
+        ExperimentError::Net(error)
     }
 }
 
@@ -269,6 +390,8 @@ pub enum ArtifactData {
     Fig5(Fig5Result),
     /// Defence ablation result.
     Ablation(AblationResult),
+    /// Campaign fleet sweep result.
+    CampaignFleet(CampaignFleetResult),
 }
 
 macro_rules! artifact_accessor {
@@ -309,6 +432,8 @@ impl ArtifactData {
         as_fig5, Fig5, Fig5Result;
         /// The ablation result, if this is one.
         as_ablation, Ablation, AblationResult;
+        /// The campaign fleet result, if this is one.
+        as_campaign_fleet, CampaignFleet, CampaignFleetResult;
     }
 }
 
@@ -326,6 +451,7 @@ impl ToJson for ArtifactData {
             ArtifactData::Fig4(r) => r.to_json(),
             ArtifactData::Fig5(r) => r.to_json(),
             ArtifactData::Ablation(r) => r.to_json(),
+            ArtifactData::CampaignFleet(r) => r.to_json(),
         }
     }
 }
@@ -357,6 +483,7 @@ impl Artifact {
             ArtifactData::Fig4(r) => r.render(),
             ArtifactData::Fig5(r) => r.render(),
             ArtifactData::Ablation(r) => r.render(),
+            ArtifactData::CampaignFleet(r) => r.render(),
         }
     }
 }
@@ -381,8 +508,19 @@ pub trait Experiment: Send + Sync {
     /// The experiment's identifier.
     fn id(&self) -> ExperimentId;
 
-    /// Runs the experiment under the given configuration.
-    fn run(&self, config: &RunConfig) -> Artifact;
+    /// Runs the experiment under the given configuration, reporting failures
+    /// (such as an exhausted event budget) as a typed [`ExperimentError`].
+    fn try_run(&self, config: &RunConfig) -> Result<Artifact, ExperimentError>;
+
+    /// Runs the experiment, panicking on failure. Convenient for the common
+    /// case where the configuration is known to be sound; batch sweeps should
+    /// prefer [`Experiment::try_run`] / [`try_run_many`].
+    fn run(&self, config: &RunConfig) -> Artifact {
+        match self.try_run(config) {
+            Ok(artifact) => artifact,
+            Err(error) => panic!("experiment {} failed: {error}", self.id()),
+        }
+    }
 
     /// The artefact title (delegates to [`ExperimentId::title`]).
     fn title(&self) -> &'static str {
@@ -402,12 +540,12 @@ macro_rules! experiments {
                     ExperimentId::$id
                 }
 
-                fn run(&self, config: &RunConfig) -> Artifact {
-                    Artifact {
+                fn try_run(&self, config: &RunConfig) -> Result<Artifact, ExperimentError> {
+                    Ok(Artifact {
                         id: self.id(),
                         config: *config,
-                        data: ArtifactData::$variant($runner(config)),
-                    }
+                        data: ArtifactData::$variant($runner(config)?),
+                    })
                 }
             }
         )*
@@ -453,12 +591,19 @@ experiments! {
     Fig5CspStats, Fig5, Fig5, figures::fig5_csp_stats;
     /// §VIII — the defence ablation.
     AblationDefenses, Ablation, Ablation, figures::ablation_defenses;
+    /// Extension — the population-scale café-AP campaign sweep.
+    CampaignFleetSweep, CampaignFleet, CampaignFleet, campaign::campaign_fleet;
 }
 
 impl Registry {
-    /// All eleven experiments, in the paper's order.
+    /// The paper's eleven experiments, in the paper's order.
     pub fn all() -> Vec<Box<dyn Experiment>> {
         ExperimentId::ALL.into_iter().map(Registry::get).collect()
+    }
+
+    /// Every registered experiment: the paper's eleven plus the extensions.
+    pub fn extended() -> Vec<Box<dyn Experiment>> {
+        ExperimentId::EXTENDED.into_iter().map(Registry::get).collect()
     }
 }
 
@@ -466,36 +611,31 @@ impl Registry {
 // Parallel batch runner
 // ---------------------------------------------------------------------------
 
-/// Runs the cross product of `ids` × `configs` on a pool of `jobs` worker
-/// threads and returns the artifacts in deterministic id-major order
-/// (`ids[0]` under every config, then `ids[1]`, …).
-///
-/// Independent experiments and multi-seed sweeps parallelise freely: every
-/// experiment builds its own simulated world. `jobs <= 1` runs inline.
-pub fn run_many(ids: &[ExperimentId], configs: &[RunConfig], jobs: usize) -> Vec<Artifact> {
-    let tasks: Vec<(ExperimentId, &RunConfig)> = ids
-        .iter()
-        .flat_map(|id| configs.iter().map(move |config| (*id, config)))
-        .collect();
+/// Runs `run` over every task on a pool of `jobs` scoped worker threads,
+/// returning results in task order. `jobs <= 1` runs inline. Used by the
+/// experiment batch runner and by the campaign fleet's per-AP sweep.
+pub(crate) fn parallel_tasks<T, R, F>(tasks: &[T], jobs: usize, run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let jobs = jobs.clamp(1, tasks.len().max(1));
     if jobs <= 1 {
-        return tasks
-            .into_iter()
-            .map(|(id, config)| Registry::get(id).run(config))
-            .collect();
+        return tasks.iter().map(&run).collect();
     }
 
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Artifact>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<R>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
                 let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some((id, config)) = tasks.get(index) else {
+                let Some(task) = tasks.get(index) else {
                     break;
                 };
-                let artifact = Registry::get(*id).run(config);
-                *slots[index].lock().expect("no panics while holding the slot lock") = Some(artifact);
+                let result = run(task);
+                *slots[index].lock().expect("no panics while holding the slot lock") = Some(result);
             });
         }
     });
@@ -505,6 +645,61 @@ pub fn run_many(ids: &[ExperimentId], configs: &[RunConfig], jobs: usize) -> Vec
             slot.into_inner()
                 .expect("worker threads joined")
                 .expect("every task was executed")
+        })
+        .collect()
+}
+
+/// Extracts a readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs the cross product of `ids` × `configs` on a pool of `jobs` worker
+/// threads, returning one `Result` per task in deterministic id-major order
+/// (`ids[0]` under every config, then `ids[1]`, …).
+///
+/// Every task is isolated: a scenario that exhausts its event budget (or even
+/// panics) reports an [`ExperimentError`] in its own slot while its siblings
+/// run to completion — one runaway configuration can no longer abort a whole
+/// sweep.
+pub fn try_run_many(
+    ids: &[ExperimentId],
+    configs: &[RunConfig],
+    jobs: usize,
+) -> Vec<Result<Artifact, ExperimentError>> {
+    let tasks: Vec<(ExperimentId, &RunConfig)> = ids
+        .iter()
+        .flat_map(|id| configs.iter().map(move |config| (*id, config)))
+        .collect();
+    parallel_tasks(&tasks, jobs, |(id, config)| {
+        catch_unwind(AssertUnwindSafe(|| Registry::get(*id).try_run(config)))
+            .unwrap_or_else(|payload| Err(ExperimentError::Panicked(panic_message(payload))))
+    })
+}
+
+/// Runs the cross product of `ids` × `configs` on a pool of `jobs` worker
+/// threads and returns the artifacts in deterministic id-major order.
+///
+/// Independent experiments and multi-seed sweeps parallelise freely: every
+/// experiment builds its own simulated world. `jobs <= 1` runs inline.
+///
+/// # Panics
+///
+/// Panics if any task fails; use [`try_run_many`] to isolate failures per
+/// task instead.
+pub fn run_many(ids: &[ExperimentId], configs: &[RunConfig], jobs: usize) -> Vec<Artifact> {
+    try_run_many(ids, configs, jobs)
+        .into_iter()
+        .zip(ids.iter().flat_map(|id| configs.iter().map(move |_| *id)))
+        .map(|(result, id)| match result {
+            Ok(artifact) => artifact,
+            Err(error) => panic!("experiment {id} failed: {error}"),
         })
         .collect()
 }
@@ -558,6 +753,11 @@ mod tests {
             crawl_sites: 45,
             days: 6,
             event_budget: 10_000_000,
+            trace_mode: TraceMode::Ring(512),
+            jitter_us: 250,
+            fleet_clients: 9_000,
+            fleet_aps: 16,
+            fleet_jobs: 3,
         };
         let json = config.to_json();
         let parsed = Json::parse(&json.to_string()).expect("well-formed JSON");
@@ -567,6 +767,10 @@ mod tests {
         // Wrongly-typed keys are an error.
         assert_eq!(
             RunConfig::from_json(&Json::obj([("seed", Json::Str("not a number".into()))])),
+            None
+        );
+        assert_eq!(
+            RunConfig::from_json(&Json::obj([("trace_mode", Json::Str("sometimes".into()))])),
             None
         );
     }
@@ -711,5 +915,96 @@ mod tests {
     fn run_many_handles_empty_input() {
         assert!(run_many(&[], &[RunConfig::default()], 4).is_empty());
         assert!(run_many(&[ExperimentId::Fig4], &[], 4).is_empty());
+    }
+
+    #[test]
+    fn extended_registry_adds_the_campaign_fleet() {
+        let extended = Registry::extended();
+        assert_eq!(extended.len(), 12);
+        assert_eq!(extended.last().unwrap().id(), ExperimentId::CampaignFleet);
+        assert_eq!("campaign_fleet".parse::<ExperimentId>(), Ok(ExperimentId::CampaignFleet));
+        // The paper set stays exactly eleven so the classic report is stable.
+        assert_eq!(Registry::all().len(), 11);
+        assert!(!ExperimentId::ALL.contains(&ExperimentId::CampaignFleet));
+    }
+
+    #[test]
+    fn campaign_fleet_sweeps_a_small_fleet() {
+        let config = RunConfig {
+            fleet_clients: 400,
+            fleet_aps: 8,
+            jitter_us: 150,
+            ..quick_config()
+        };
+        let artifact = run(ExperimentId::CampaignFleet, &config);
+        let result = artifact.data.as_campaign_fleet().expect("campaign artifact");
+        assert_eq!(result.clients, 400);
+        assert_eq!(result.aps, 8);
+        assert_eq!(result.failed_aps, 0);
+        // Every eighth client of an AP requests an unprepared object and
+        // stays clean: 6 of each AP's 50 clients.
+        assert_eq!(result.clean_clients, 48);
+        assert_eq!(result.infected_clients, 352);
+        assert_eq!(result.infected_clients + result.clean_clients, result.clients);
+        assert!(result.total_events > 0);
+        assert!(result.injected_events >= result.infected_clients as u64);
+        assert!(artifact.render_text().contains("infected clients"));
+        // Deterministic under the same seed, including with jitter enabled.
+        let again = run(ExperimentId::CampaignFleet, &config);
+        assert_eq!(artifact, again);
+    }
+
+    #[test]
+    fn overpacked_fleet_is_a_typed_config_error() {
+        // More clients than one AP's /16 address space: a typed error, not a
+        // panic in a worker thread.
+        let config = RunConfig {
+            fleet_clients: 100_000,
+            fleet_aps: 1,
+            ..quick_config()
+        };
+        match Registry::get(ExperimentId::CampaignFleet).try_run(&config) {
+            Err(ExperimentError::Config(message)) => assert!(message.contains("fleet_aps")),
+            other => panic!("expected a config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_a_typed_error_that_spares_siblings() {
+        // Three events are not enough for even one handshake, so the
+        // packet-level experiments fail — as an error, not a panic — while
+        // the sibling task in the same sweep completes.
+        let starved = RunConfig {
+            event_budget: 3,
+            ..quick_config()
+        };
+        let results = try_run_many(
+            &[ExperimentId::Fig2, ExperimentId::Ablation],
+            &[starved],
+            2,
+        );
+        assert_eq!(results.len(), 2);
+        match &results[0] {
+            Err(ExperimentError::Net(NetError::EventBudgetExhausted { budget: 3 })) => {}
+            other => panic!("expected a typed budget error, got {other:?}"),
+        }
+        let sibling = results[1].as_ref().expect("sibling experiment unaffected");
+        assert_eq!(sibling.id, ExperimentId::Ablation);
+    }
+
+    #[test]
+    fn try_run_many_isolates_panicking_tasks() {
+        struct Bomb;
+        impl Experiment for Bomb {
+            fn id(&self) -> ExperimentId {
+                ExperimentId::Ablation
+            }
+            fn try_run(&self, _config: &RunConfig) -> Result<Artifact, ExperimentError> {
+                panic!("boom");
+            }
+        }
+        // `run` surfaces `try_run` errors as panics with the experiment id.
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| Bomb.run(&RunConfig::default())));
+        assert!(caught.is_err());
     }
 }

@@ -5,7 +5,7 @@
 //! [`super::Experiment`] impls in the parent module wrap them into
 //! [`super::Artifact`]s.
 
-use super::{standard_infector, RunConfig, MASTER_HOST};
+use super::{standard_infector, ExperimentError, RunConfig, MASTER_HOST};
 use crate::attacks::{self, AttackReport};
 use crate::cnc::CncServer;
 use crate::eviction::{junk_origin, EvictionAttack, EvictionReport};
@@ -20,6 +20,8 @@ use mp_httpsim::body::{Body, ResourceKind};
 use mp_httpsim::message::{Request, Response};
 use mp_httpsim::transport::{Exchange, Internet, StaticOrigin};
 use mp_httpsim::url::{Scheme, Url};
+use mp_netsim::capture::TraceMode;
+use mp_netsim::error::NetError;
 use mp_netsim::link::MediumKind;
 use mp_netsim::sim::{FixedResponder, Simulator, DEFAULT_EVENT_BUDGET};
 use mp_netsim::time::Duration as SimDuration;
@@ -82,7 +84,7 @@ impl ToJson for Table1Result {
 /// `config.scale` shrinks the cache sizes and junk objects so the experiment
 /// runs in milliseconds; the *behaviour* (who evicts, who melts down) is
 /// unaffected.
-pub(super) fn table1_cache_eviction(config: &RunConfig) -> Table1Result {
+pub(super) fn table1_cache_eviction(config: &RunConfig) -> Result<Table1Result, ExperimentError> {
     let scale = config.scale.max(1);
     let rows = BrowserProfile::table1_browsers()
         .into_iter()
@@ -114,7 +116,7 @@ pub(super) fn table1_cache_eviction(config: &RunConfig) -> Table1Result {
             report
         })
         .collect();
-    Table1Result { rows }
+    Ok(Table1Result { rows })
 }
 
 // ---------------------------------------------------------------------------
@@ -218,16 +220,33 @@ pub(super) struct RaceRun {
     pub(super) conn: mp_netsim::endpoint::ConnId,
 }
 
-/// Builds and runs the paper's injection-race world: a victim on shared WiFi
-/// requesting `somesite.com/my.js`, the master's tap reacting after
+/// The paper's race world before any victims are attached: a shared-WiFi
+/// access network with the master's tap on it, and the genuine server for
+/// `somesite.com/my.js` across the WAN. [`run_race_simulation`] adds the
+/// single victim of Figure 2 / Table II; the campaign fleet experiment adds
+/// a whole café of them.
+pub(super) struct RaceWorld {
+    /// The simulator with media, server, responder and tap wired up.
+    pub(super) sim: Simulator,
+    /// The shared-WiFi medium victims attach to.
+    pub(super) wifi: mp_netsim::link::MediumId,
+    /// The genuine server (listening on port 80).
+    pub(super) server: mp_netsim::endpoint::HostId,
+    /// The object the master races for.
+    pub(super) target: Url,
+}
+
+/// Builds the race world: the master's tap reacting after
 /// `attacker_reaction_us`, the genuine server `server_one_way_us` away
-/// (one-way WAN latency), with at most `event_budget` simulator events.
-pub(super) fn run_race_simulation(
+/// (one-way WAN latency), with at most `event_budget` simulator events and
+/// the given trace recorder mode.
+pub(super) fn build_race_world(
     seed: u64,
     attacker_reaction_us: u64,
     server_one_way_us: u64,
     event_budget: u64,
-) -> RaceRun {
+    trace_mode: TraceMode,
+) -> RaceWorld {
     let master = Master::new(MASTER_HOST);
     let target = Url::parse("http://somesite.com/my.js").expect("static url");
     let genuine = Response::ok(Body::text(ResourceKind::JavaScript, "function genuine(){}"))
@@ -237,10 +256,11 @@ pub(super) fn run_race_simulation(
         SimDuration::from_micros(attacker_reaction_us),
     );
 
-    let mut sim = Simulator::new(seed).with_event_budget(event_budget);
+    let mut sim = Simulator::new(seed)
+        .with_event_budget(event_budget)
+        .with_trace_mode(trace_mode);
     let wifi = sim.add_medium(MediumKind::SharedWireless, 2_000);
     let wan = sim.add_medium(MediumKind::WideArea, server_one_way_us);
-    let victim = sim.add_host("victim", mp_netsim::addr::IpAddr::new(10, 0, 0, 2), wifi);
     let server = sim.add_host("server", mp_netsim::addr::IpAddr::new(203, 0, 113, 10), wan);
     sim.listen(server, 80);
     sim.set_service(
@@ -249,11 +269,39 @@ pub(super) fn run_race_simulation(
     );
     sim.add_tap(wifi, Box::new(tap));
 
+    RaceWorld {
+        sim,
+        wifi,
+        server,
+        target,
+    }
+}
+
+/// Builds and runs the paper's injection race: one victim on the shared WiFi
+/// of [`build_race_world`] requesting the target object.
+///
+/// # Errors
+///
+/// Returns [`NetError::EventBudgetExhausted`] if the budget runs out.
+pub(super) fn run_race_simulation(
+    seed: u64,
+    attacker_reaction_us: u64,
+    server_one_way_us: u64,
+    event_budget: u64,
+    trace_mode: TraceMode,
+) -> Result<RaceRun, NetError> {
+    let RaceWorld {
+        mut sim,
+        wifi,
+        server,
+        target,
+    } = build_race_world(seed, attacker_reaction_us, server_one_way_us, event_budget, trace_mode);
+    let victim = sim.add_host("victim", mp_netsim::addr::IpAddr::new(10, 0, 0, 2), wifi);
     let conn = sim.connect(victim, server, 80).expect("hosts exist");
     sim.send(victim, conn, &Request::get(target).to_wire()).expect("connection exists");
-    sim.run_until_idle();
+    sim.run_until_idle()?;
 
-    RaceRun { sim, victim, conn }
+    Ok(RaceRun { sim, victim, conn })
 }
 
 /// One packet-level injection race; returns `true` if the victim ends up
@@ -263,19 +311,21 @@ fn injection_race(
     attacker_reaction_us: u64,
     server_one_way_us: u64,
     event_budget: u64,
-) -> bool {
-    let race = run_race_simulation(seed, attacker_reaction_us, server_one_way_us, event_budget);
-    Response::from_wire(&race.sim.received(race.victim, race.conn))
+    trace_mode: TraceMode,
+) -> Result<bool, NetError> {
+    let race = run_race_simulation(seed, attacker_reaction_us, server_one_way_us, event_budget, trace_mode)?;
+    Ok(Response::from_wire(&race.sim.received(race.victim, race.conn))
         .ok()
         .map(|r| Parasite::detect(&r.body.as_text()).is_some())
-        .unwrap_or(false)
+        .unwrap_or(false))
 }
 
 /// Runs one packet-level injection race with the paper's standard timing
 /// (0.3 ms attacker reaction, 40 ms one-way WAN) and reports whether the
 /// victim ended up with the parasite.
 pub fn run_injection_race(seed: u64) -> bool {
-    injection_race(seed, 300, 40_000, DEFAULT_EVENT_BUDGET)
+    injection_race(seed, 300, 40_000, DEFAULT_EVENT_BUDGET, TraceMode::SummaryOnly)
+        .expect("the standard race stays far within the default event budget")
 }
 
 /// Parametric variant of the injection race: the attacker reacts after
@@ -284,11 +334,12 @@ pub fn run_injection_race(seed: u64) -> bool {
 /// parasite. Used by the race-crossover ablation: the attack only works while
 /// the spoofed response beats the genuine one to the victim.
 pub fn injection_race_with_timing(attacker_reaction_us: u64, server_one_way_us: u64) -> bool {
-    injection_race(1234, attacker_reaction_us, server_one_way_us, DEFAULT_EVENT_BUDGET)
+    injection_race(1234, attacker_reaction_us, server_one_way_us, DEFAULT_EVENT_BUDGET, TraceMode::SummaryOnly)
+        .expect("the parametric race stays far within the default event budget")
 }
 
 /// Runs the Table II OS × browser injection matrix.
-pub(super) fn table2_injection_matrix(config: &RunConfig) -> Table2Result {
+pub(super) fn table2_injection_matrix(config: &RunConfig) -> Result<Table2Result, ExperimentError> {
     let browsers = BrowserProfile::table2_browsers();
     let browser_names = browsers.iter().map(|b| b.kind.to_string()).collect();
     let mut rows = Vec::new();
@@ -302,7 +353,7 @@ pub(super) fn table2_injection_matrix(config: &RunConfig) -> Table2Result {
             // TCP injection does not depend on the browser or OS (both follow
             // the TCP specification); run the race to confirm it.
             let seed = config.seed.wrapping_add((os_index * 16 + browser_index) as u64 + 1);
-            if injection_race(seed, 300, 40_000, config.event_budget) {
+            if injection_race(seed, 300, 40_000, config.event_budget, config.trace_mode)? {
                 cells.push(InjectionCell::Success);
             } else {
                 cells.push(InjectionCell::Failure);
@@ -310,10 +361,10 @@ pub(super) fn table2_injection_matrix(config: &RunConfig) -> Table2Result {
         }
         rows.push((os.to_string(), cells));
     }
-    Table2Result {
+    Ok(Table2Result {
         browsers: browser_names,
         rows,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -461,7 +512,7 @@ fn parasite_survives_after(profile: BrowserProfile, method: RefreshMethod) -> Re
 }
 
 /// Runs the Table III experiment over the paper's browser set.
-pub(super) fn table3_refresh_methods(_config: &RunConfig) -> Table3Result {
+pub(super) fn table3_refresh_methods(_config: &RunConfig) -> Result<Table3Result, ExperimentError> {
     let browsers = vec![
         BrowserProfile::chrome(),
         BrowserProfile::firefox(),
@@ -481,7 +532,7 @@ pub(super) fn table3_refresh_methods(_config: &RunConfig) -> Table3Result {
             (name, cells)
         })
         .collect();
-    Table3Result { rows }
+    Ok(Table3Result { rows })
 }
 
 // ---------------------------------------------------------------------------
@@ -580,7 +631,7 @@ fn shared_cache_infection(instance: mp_webcache::CacheInstance, https: bool) -> 
 }
 
 /// Runs the Table IV experiment over every taxonomy row.
-pub(super) fn table4_caches(_config: &RunConfig) -> Table4Result {
+pub(super) fn table4_caches(_config: &RunConfig) -> Result<Table4Result, ExperimentError> {
     let rows = table4_entries()
         .into_iter()
         .map(|instance| {
@@ -605,7 +656,7 @@ pub(super) fn table4_caches(_config: &RunConfig) -> Table4Result {
             }
         })
         .collect();
-    Table4Result { rows }
+    Ok(Table4Result { rows })
 }
 
 // ---------------------------------------------------------------------------
@@ -680,7 +731,7 @@ impl ToJson for Table5Result {
 }
 
 /// Runs every Table V attack module against the simulated applications.
-pub(super) fn table5_attacks(_config: &RunConfig) -> Table5Result {
+pub(super) fn table5_attacks(_config: &RunConfig) -> Result<Table5Result, ExperimentError> {
     let mut reports = Vec::new();
     let mut cnc = CncServer::new(MASTER_HOST);
 
@@ -751,5 +802,5 @@ pub(super) fn table5_attacks(_config: &RunConfig) -> Table5Result {
     ]));
     reports.push(attacks::browser_ddos(250, 40, "192.168.0.1"));
 
-    Table5Result { reports }
+    Ok(Table5Result { reports })
 }

@@ -18,6 +18,7 @@ use mp_httpsim::message::{Request, Response};
 use mp_httpsim::tls::TlsDeployment;
 use mp_httpsim::transport::Exchange;
 use mp_httpsim::url::{Scheme, Url};
+use bytes::Bytes;
 use mp_netsim::attacker::{Injection, Injector, Tap};
 use mp_netsim::packet::Packet;
 use mp_netsim::time::Instant;
@@ -45,8 +46,9 @@ pub struct MasterTap {
     injector: Injector,
     /// Origin content the master has prepared in advance, keyed by
     /// `(host, path)` — "waiting for an HTTP request to one of the objects he
-    /// has prepared" (§V).
-    prepared_objects: HashMap<(String, String), Response>,
+    /// has prepared" (§V). Stored pre-serialised as [`Bytes`], so every
+    /// injection slices the one buffer instead of re-encoding the response.
+    prepared_objects: HashMap<(String, String), Bytes>,
     stats: SharedInjectionStats,
 }
 
@@ -71,7 +73,7 @@ impl MasterTap {
     pub fn prepare_object(&mut self, url: &Url, genuine: Response) {
         let infected = self.infector.infect_response(&genuine);
         self.prepared_objects
-            .insert((url.host.clone(), url.path.clone()), infected);
+            .insert((url.host.clone(), url.path.clone()), Bytes::from(infected.to_wire()));
     }
 
     fn parse_request(payload: &[u8]) -> Option<(String, String)> {
@@ -105,7 +107,7 @@ impl Tap for MasterTap {
         stats.target_requests_seen += 1;
         stats.responses_injected += 1;
         drop(stats);
-        self.injector.forge_response(packet, &infected.to_wire())
+        self.injector.forge_response_bytes(packet, infected.clone())
     }
 
     fn name(&self) -> &str {

@@ -13,6 +13,7 @@ use crate::addr::{FourTuple, IpAddr};
 use crate::packet::{Packet, Segment, DEFAULT_MSS};
 use crate::seq::SeqNum;
 use crate::time::{Duration, Instant};
+use bytes::Bytes;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -135,6 +136,13 @@ impl Injector {
     /// Returns an empty vector if the observed packet carries no payload
     /// (there is nothing to respond to yet).
     pub fn forge_response(&self, observed: &Packet, payload: &[u8]) -> Vec<Injection> {
+        self.forge_response_bytes(observed, Bytes::copy_from_slice(payload))
+    }
+
+    /// [`Injector::forge_response`] without the copy: spoofed segments slice
+    /// the shared payload buffer, so a master replaying a prepared object pays
+    /// no per-injection allocation.
+    pub fn forge_response_bytes(&self, observed: &Packet, payload: Bytes) -> Vec<Injection> {
         if observed.segment.payload.is_empty() {
             return Vec::new();
         }
@@ -153,14 +161,19 @@ impl Injector {
         let ack: SeqNum = observed.segment.seq_end();
 
         let mut injections = Vec::new();
-        for chunk in payload.chunks(self.mss) {
-            let mut segment = Segment::data(src_port, dst_port, seq, ack, chunk.to_vec());
+        let mut offset = 0usize;
+        while offset < payload.len() {
+            let end = (offset + self.mss).min(payload.len());
+            let chunk = payload.slice(offset..end);
+            let len = chunk.len() as u32;
+            let mut segment = Segment::data(src_port, dst_port, seq, ack, chunk);
             segment.window = observed.segment.window;
-            seq = seq + chunk.len() as u32;
+            seq = seq + len;
             injections.push(Injection {
                 delay: self.reaction_time,
                 packet: Packet::new(src_ip, dst_ip, segment).spoofed(),
             });
+            offset = end;
         }
         injections
     }

@@ -11,6 +11,7 @@ use crate::link::MediumId;
 use crate::packet::{Packet, Segment};
 use crate::seq::SeqNum;
 use crate::tcp::{AcceptOutcome, TcpConnection, TcpState};
+use bytes::Bytes;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -30,7 +31,11 @@ pub struct ConnId(pub u64);
 /// processing delay is applied before the reply leaves the host.
 pub trait Service: Send {
     /// Handles newly arrived request bytes and returns response chunks.
-    fn on_data(&mut self, conn: ConnId, data: &[u8]) -> Vec<Vec<u8>>;
+    ///
+    /// Chunks are [`Bytes`], so a service replaying a prepared response shares
+    /// one buffer with the wire segments, trace and receiver instead of
+    /// copying it per reply.
+    fn on_data(&mut self, conn: ConnId, data: &[u8]) -> Vec<Bytes>;
 
     /// Server-side think time applied before responses are emitted.
     fn processing_delay(&self) -> crate::time::Duration {
@@ -176,11 +181,22 @@ impl Host {
     /// Returns [`NetError::UnknownConnection`] for an unknown id and
     /// [`NetError::InvalidState`] if the connection is not established.
     pub fn send(&mut self, conn: ConnId, data: &[u8]) -> Result<Vec<Segment>, NetError> {
+        self.send_bytes(conn, Bytes::copy_from_slice(data))
+    }
+
+    /// [`Host::send`] without the copy: MSS segmentation slices the shared
+    /// buffer instead of copying each chunk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownConnection`] for an unknown id and
+    /// [`NetError::InvalidState`] if the connection is not established.
+    pub fn send_bytes(&mut self, conn: ConnId, data: Bytes) -> Result<Vec<Segment>, NetError> {
         let connection = self
             .connections
             .get_mut(&conn)
             .ok_or(NetError::UnknownConnection(conn.0))?;
-        connection.send(data)
+        connection.send_bytes(data)
     }
 
     /// Closes a connection, returning the FIN segment.

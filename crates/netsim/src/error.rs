@@ -38,6 +38,13 @@ pub enum NetError {
         /// Destination host name.
         to: String,
     },
+    /// The simulation processed more events than its configured budget —
+    /// usually a feedback loop between a tap and a host. Returned (not
+    /// panicked) so one runaway scenario cannot abort a whole batch sweep.
+    EventBudgetExhausted {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -54,6 +61,10 @@ impl fmt::Display for NetError {
                 write!(f, "payload of {len} bytes exceeds maximum segment size {mss}")
             }
             NetError::NoRoute { from, to } => write!(f, "no route from {from} to {to}"),
+            NetError::EventBudgetExhausted { budget } => write!(
+                f,
+                "event budget exhausted after {budget} events: possible feedback loop between a tap and a host"
+            ),
         }
     }
 }

@@ -37,7 +37,7 @@
 //! sim.listen(server, 80);
 //! let conn = sim.connect(client, server, 80)?;
 //! sim.send(client, conn, b"GET / HTTP/1.1\r\nHost: example.org\r\n\r\n")?;
-//! sim.run_until_idle();
+//! sim.run_until_idle()?;
 //! let server_conn = sim.connections(server)[0];
 //! let delivered = sim.received(server, server_conn);
 //! assert!(delivered.starts_with(b"GET /"));
@@ -61,6 +61,7 @@ pub mod tcp;
 pub mod time;
 
 pub use addr::{IpAddr, SocketAddr};
+pub use capture::{Trace, TraceMode, TraceSummary};
 pub use error::NetError;
 pub use packet::{Packet, Segment, TcpFlags};
 pub use sim::Simulator;

@@ -30,7 +30,7 @@ pub enum MediumKind {
     WideArea,
 }
 
-/// A transmission medium with a one-way latency.
+/// A transmission medium with a one-way latency and optional jitter.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Medium {
     /// Identifier.
@@ -39,12 +39,21 @@ pub struct Medium {
     pub kind: MediumKind,
     /// One-way propagation plus serialisation latency applied to every packet.
     pub latency: Duration,
+    /// Maximum extra per-packet delay drawn uniformly from `[0, jitter]` by
+    /// the simulator's seeded RNG. Zero (the default) disables jitter and
+    /// keeps delivery times byte-identical to the jitter-free simulator.
+    pub jitter: Duration,
 }
 
 impl Medium {
-    /// Creates a medium.
+    /// Creates a medium with zero jitter.
     pub fn new(id: MediumId, kind: MediumKind, latency: Duration) -> Self {
-        Medium { id, kind, latency }
+        Medium {
+            id,
+            kind,
+            latency,
+            jitter: Duration::ZERO,
+        }
     }
 
     /// Returns `true` if taps attached to this medium can observe traffic.

@@ -2,14 +2,16 @@
 
 use crate::addr::{IpAddr, SocketAddr};
 use crate::attacker::{Injection, Tap};
-use crate::capture::{Trace, TraceEvent};
+use crate::capture::{NameId, Trace, TraceEvent, TraceMode};
 use crate::endpoint::{ConnId, Host, HostId, Service};
 use crate::error::NetError;
 use crate::link::{Medium, MediumId, MediumKind};
 use crate::packet::Packet;
+use crate::tcp::TcpState;
 use crate::time::{Duration, Instant, SimClock};
+use bytes::Bytes;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, BTreeMap, HashMap};
 
@@ -62,14 +64,23 @@ pub struct Simulator {
     ip_index: HashMap<IpAddr, HostId>,
     taps: Vec<TapEntry>,
     queue: BinaryHeap<QueuedEvent>,
-    pending_sends: HashMap<(HostId, ConnId), Vec<Vec<u8>>>,
+    /// Pre-handshake send buffers, indexed by host so the per-event flush and
+    /// eviction passes touch only the delivered host's connections.
+    pending_sends: HashMap<HostId, HashMap<ConnId, Vec<Bytes>>>,
     trace: Trace,
+    host_names: HashMap<HostId, NameId>,
+    foreign_names: HashMap<IpAddr, NameId>,
+    attacker_name: NameId,
+    unknown_name: NameId,
     next_seq: u64,
     next_host: u64,
     next_medium: u64,
     events_processed: u64,
     event_budget: u64,
-    #[allow(dead_code)]
+    /// Seeded RNG driving optional medium jitter (see
+    /// [`Simulator::set_medium_jitter`]). With all jitter at zero — the
+    /// default — it is never consulted, so output stays byte-identical to the
+    /// jitter-free simulator.
     rng: StdRng,
 }
 
@@ -88,6 +99,9 @@ impl std::fmt::Debug for Simulator {
 impl Simulator {
     /// Creates a simulator with a deterministic seed.
     pub fn new(seed: u64) -> Self {
+        let mut trace = Trace::new();
+        let attacker_name = trace.intern("attacker");
+        let unknown_name = trace.intern("?");
         Simulator {
             clock: SimClock::new(),
             media: BTreeMap::new(),
@@ -96,7 +110,11 @@ impl Simulator {
             taps: Vec::new(),
             queue: BinaryHeap::new(),
             pending_sends: HashMap::new(),
-            trace: Trace::new(),
+            trace,
+            host_names: HashMap::new(),
+            foreign_names: HashMap::new(),
+            attacker_name,
+            unknown_name,
             next_seq: 0,
             next_host: 1,
             next_medium: 1,
@@ -108,8 +126,8 @@ impl Simulator {
 
     /// Sets the event budget (builder form): the maximum number of events one
     /// run may process before the simulator assumes a feedback loop and
-    /// panics. Defaults to [`DEFAULT_EVENT_BUDGET`]; long batch sweeps can
-    /// raise it deliberately.
+    /// reports [`NetError::EventBudgetExhausted`]. Defaults to
+    /// [`DEFAULT_EVENT_BUDGET`]; long batch sweeps can raise it deliberately.
     #[must_use]
     pub fn with_event_budget(mut self, budget: u64) -> Self {
         self.set_event_budget(budget);
@@ -127,6 +145,22 @@ impl Simulator {
         self.event_budget
     }
 
+    /// Sets the trace recorder mode (builder form). [`TraceMode::Full`] (the
+    /// default) retains every transmission; [`TraceMode::Ring`] bounds the
+    /// trace to the most recent *n*; [`TraceMode::SummaryOnly`] retains
+    /// nothing but the running counters.
+    #[must_use]
+    pub fn with_trace_mode(mut self, mode: TraceMode) -> Self {
+        self.set_trace_mode(mode);
+        self
+    }
+
+    /// Sets the trace recorder mode on an existing simulator. Retained events
+    /// the new mode would not hold are dropped (and counted).
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.trace.set_mode(mode);
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> Instant {
         self.clock.now()
@@ -140,6 +174,23 @@ impl Simulator {
         self.media
             .insert(id, Medium::new(id, kind, Duration::from_micros(latency_micros)));
         id
+    }
+
+    /// Enables per-packet jitter on a medium: every traversal draws an extra
+    /// delay uniformly from `[0, jitter]` using the simulator's seeded RNG.
+    /// The default is zero (no jitter, no RNG draws), which keeps delivery
+    /// times byte-identical to the jitter-free simulator; with jitter enabled,
+    /// two simulators built with the same seed and the same workload still
+    /// produce identical traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the medium does not exist.
+    pub fn set_medium_jitter(&mut self, medium: MediumId, jitter: Duration) {
+        self.media
+            .get_mut(&medium)
+            .expect("unknown medium id")
+            .jitter = jitter;
     }
 
     /// Adds a host attached to `medium` and returns its id.
@@ -157,6 +208,7 @@ impl Simulator {
         self.next_host += 1;
         self.hosts.insert(id, Host::new(id, name, ip, medium));
         self.ip_index.insert(ip, id);
+        self.host_names.insert(id, self.trace.intern(name));
         id
     }
 
@@ -237,26 +289,47 @@ impl Simulator {
     /// Returns [`NetError::UnknownHost`] / [`NetError::UnknownConnection`] for
     /// invalid identifiers.
     pub fn send(&mut self, host: HostId, conn: ConnId, data: &[u8]) -> Result<(), NetError> {
+        self.send_bytes(host, conn, Bytes::copy_from_slice(data))
+    }
+
+    /// [`Simulator::send`] without the copy: the buffer is shared (not cloned)
+    /// across MSS segmentation, the packet trace and delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownHost`] / [`NetError::UnknownConnection`] for
+    /// invalid identifiers.
+    pub fn send_bytes(&mut self, host: HostId, conn: ConnId, data: Bytes) -> Result<(), NetError> {
         let h = self
             .hosts
             .get_mut(&host)
             .ok_or_else(|| NetError::UnknownHost(format!("{host:?}")))?;
-        if h.connection_state(conn).is_none() {
-            return Err(NetError::UnknownConnection(conn.0));
+        let state = h
+            .connection_state(conn)
+            .ok_or(NetError::UnknownConnection(conn.0))?;
+        // A dead connection can never flush a buffer: reject instead of
+        // buffering into pending_sends, where (with no further events for the
+        // host) nothing would ever evict it.
+        if matches!(state, TcpState::Closed | TcpState::Reset) {
+            return Err(NetError::InvalidState {
+                reason: format!("cannot send in state {state:?}"),
+            });
         }
         if h.is_established(conn) {
             let remote = h.connection_remote(conn).expect("established has remote");
             let ip = h.ip();
-            let segments = h.send(conn, data)?;
+            let segments = h.send_bytes(conn, data)?;
             for seg in segments {
                 let packet = Packet::new(ip, remote.ip, seg);
                 self.transmit(host, packet, false, Duration::ZERO);
             }
         } else {
             self.pending_sends
-                .entry((host, conn))
+                .entry(host)
                 .or_default()
-                .push(data.to_vec());
+                .entry(conn)
+                .or_default()
+                .push(data);
         }
         Ok(())
     }
@@ -282,8 +355,8 @@ impl Simulator {
     }
 
     /// Application bytes received so far on a connection.
-    pub fn received(&self, host: HostId, conn: ConnId) -> Vec<u8> {
-        self.host(host).received(conn).to_vec()
+    pub fn received(&self, host: HostId, conn: ConnId) -> Bytes {
+        Bytes::copy_from_slice(self.host(host).received(conn))
     }
 
     /// Connection ids present on a host (in creation order).
@@ -296,14 +369,23 @@ impl Simulator {
         &self.trace
     }
 
-    /// Takes ownership of the recorded trace, leaving an empty one behind.
+    /// Takes ownership of the recorded trace, leaving an empty one (same
+    /// recorder mode and name table) behind.
     pub fn take_trace(&mut self) -> Trace {
-        std::mem::take(&mut self.trace)
+        let fresh = self.trace.fresh_like();
+        std::mem::replace(&mut self.trace, fresh)
     }
 
     /// Number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Number of pre-handshake send buffers currently held. Buffers are
+    /// flushed on establishment and evicted (with a note in the trace
+    /// summary) when their connection closes or resets first.
+    pub fn pending_send_buffers(&self) -> usize {
+        self.pending_sends.values().map(HashMap::len).sum()
     }
 
     fn path_latency(&self, from_medium: MediumId, to_medium: MediumId) -> Duration {
@@ -316,12 +398,54 @@ impl Simulator {
         }
     }
 
-    fn host_name(&self, ip: IpAddr) -> String {
-        self.ip_index
-            .get(&ip)
-            .and_then(|id| self.hosts.get(id))
-            .map(|h| h.name().to_string())
-            .unwrap_or_else(|| ip.to_string())
+    /// Draws the jitter for one traversal of the given media pair. With all
+    /// jitter configured to zero (the default) this never touches the RNG.
+    fn path_jitter(&mut self, from_medium: Option<MediumId>, to_medium: Option<MediumId>) -> Duration {
+        let jitter_of = |media: &BTreeMap<MediumId, Medium>, id: Option<MediumId>| {
+            id.and_then(|id| media.get(&id))
+                .map(|m| m.jitter.as_micros())
+                .unwrap_or(0)
+        };
+        let total = match (from_medium, to_medium) {
+            (Some(a), Some(b)) if a == b => jitter_of(&self.media, Some(a)),
+            (a, b) => jitter_of(&self.media, a) + jitter_of(&self.media, b),
+        };
+        if total == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(self.rng.gen_range(0..=total))
+        }
+    }
+
+    /// Interned trace name for the host that owns `ip`, or (for addresses
+    /// outside the simulation) the textual address, interned on first use.
+    fn name_of_ip(&mut self, ip: IpAddr) -> NameId {
+        if let Some(id) = self.ip_index.get(&ip).and_then(|id| self.host_names.get(id)) {
+            return *id;
+        }
+        if let Some(&id) = self.foreign_names.get(&ip) {
+            return id;
+        }
+        let id = self.trace.intern(&ip.to_string());
+        self.foreign_names.insert(ip, id);
+        id
+    }
+
+    /// Records one transmission in the trace. In [`TraceMode::SummaryOnly`]
+    /// only the counters move — no event (and no packet clone) is created.
+    fn record(&mut self, sent_at: Instant, delivered_at: Instant, from: NameId, to: NameId, injected: bool, packet: &Packet) {
+        if self.trace.retains_events() {
+            self.trace.push(TraceEvent {
+                sent_at,
+                delivered_at,
+                from,
+                to,
+                injected,
+                packet: packet.clone(),
+            });
+        } else {
+            self.trace.note(injected, packet.segment.payload.len());
+        }
     }
 
     /// Schedules delivery of a packet emitted by `from`, notifying taps.
@@ -336,22 +460,12 @@ impl Simulator {
             (Some(a), None) => self.media.get(&a).map(|m| m.latency).unwrap_or(Duration::ZERO),
             _ => Duration::ZERO,
         };
-        let deliver_at = now + extra_delay + latency;
+        let jitter = self.path_jitter(from_medium, to_medium);
+        let deliver_at = now + extra_delay + latency + jitter;
 
-        let from_name = self
-            .hosts
-            .get(&from)
-            .map(|h| h.name().to_string())
-            .unwrap_or_else(|| "?".into());
-        let to_name = self.host_name(packet.dst_ip);
-        self.trace.push(TraceEvent {
-            sent_at: now + extra_delay,
-            delivered_at: deliver_at,
-            from: from_name,
-            to: to_name,
-            injected,
-            packet: packet.clone(),
-        });
+        let from_name = self.host_names.get(&from).copied().unwrap_or(self.unknown_name);
+        let to_name = self.name_of_ip(packet.dst_ip);
+        self.record(now + extra_delay, deliver_at, from_name, to_name, injected, &packet);
 
         if let Some(to) = dst_host {
             let seq = self.next_seq;
@@ -403,17 +517,12 @@ impl Simulator {
             .map(|h| h.medium())
             .unwrap_or(tap_medium);
         let latency = self.path_latency(tap_medium, to_medium);
-        let deliver_at = now + injection.delay + latency;
+        let jitter = self.path_jitter(Some(tap_medium), Some(to_medium));
+        let deliver_at = now + injection.delay + latency + jitter;
 
-        let to_name = self.host_name(injection.packet.dst_ip);
-        self.trace.push(TraceEvent {
-            sent_at: now + injection.delay,
-            delivered_at: deliver_at,
-            from: "attacker".into(),
-            to: to_name,
-            injected: true,
-            packet: injection.packet.clone(),
-        });
+        let to_name = self.name_of_ip(injection.packet.dst_ip);
+        let attacker = self.attacker_name;
+        self.record(now + injection.delay, deliver_at, attacker, to_name, true, &injection.packet);
 
         if let Some(to) = dst_host {
             let seq = self.next_seq;
@@ -427,21 +536,33 @@ impl Simulator {
         }
     }
 
-    /// Processes a single queued event. Returns `false` if the queue is empty.
-    pub fn step(&mut self) -> bool {
-        let Some(event) = self.queue.pop() else {
-            return false;
-        };
+    /// Processes a single queued event. Returns `Ok(false)` if the queue is
+    /// empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EventBudgetExhausted`] once the run has consumed
+    /// its event budget — typically a feedback loop between a tap and a host.
+    /// The error is typed (not a panic) so batch sweeps can fail one scenario
+    /// without aborting their siblings.
+    pub fn step(&mut self) -> Result<bool, NetError> {
+        if self.queue.is_empty() {
+            return Ok(false);
+        }
+        // Budget check before the pop: the in-flight event stays queued, so a
+        // caller that raises the budget can resume without losing packets.
+        if self.events_processed >= self.event_budget {
+            return Err(NetError::EventBudgetExhausted {
+                budget: self.event_budget,
+            });
+        }
+        let event = self.queue.pop().expect("checked non-empty above");
         self.events_processed += 1;
-        assert!(
-            self.events_processed <= self.event_budget,
-            "event budget exhausted: possible feedback loop between a tap and a host"
-        );
         self.clock.advance_to(event.at);
 
         let QueuedEvent { to, packet, .. } = event;
         let Some(host) = self.hosts.get_mut(&to) else {
-            return true;
+            return Ok(true);
         };
         let host_ip = host.ip();
         let result = host.deliver(&packet);
@@ -457,9 +578,11 @@ impl Simulator {
             self.run_service(to, conn);
         }
 
-        // Flush sends that were waiting for the handshake to finish.
+        // Flush sends that were waiting for the handshake to finish, then
+        // evict buffers whose connection died before establishing.
         self.flush_pending(to);
-        true
+        self.evict_dead_pending(to);
+        Ok(true)
     }
 
     fn run_service(&mut self, host_id: HostId, conn: ConnId) {
@@ -490,7 +613,7 @@ impl Simulator {
                 let Some(host) = self.hosts.get_mut(&host_id) else {
                     return;
                 };
-                match host.send(conn, &chunk) {
+                match host.send_bytes(conn, chunk) {
                     Ok(segments) => segments,
                     Err(_) => return,
                 }
@@ -503,60 +626,125 @@ impl Simulator {
     }
 
     fn flush_pending(&mut self, host_id: HostId) {
-        let ready: Vec<(HostId, ConnId)> = self
-            .pending_sends
+        let (Some(host), Some(conns)) = (self.hosts.get(&host_id), self.pending_sends.get(&host_id))
+        else {
+            return;
+        };
+        let ready: Vec<ConnId> = conns
             .keys()
-            .filter(|(h, c)| *h == host_id && self.hosts.get(h).map(|host| host.is_established(*c)).unwrap_or(false))
+            .filter(|c| host.is_established(**c))
             .copied()
             .collect();
-        for key in ready {
-            let Some(chunks) = self.pending_sends.remove(&key) else {
+        for conn in ready {
+            let Some(chunks) = self
+                .pending_sends
+                .get_mut(&host_id)
+                .and_then(|conns| conns.remove(&conn))
+            else {
                 continue;
             };
             for chunk in chunks {
                 // Established now, so this sends immediately.
-                let _ = self.send(key.0, key.1, &chunk);
+                let _ = self.send_bytes(host_id, conn, chunk);
             }
+        }
+        if self.pending_sends.get(&host_id).is_some_and(HashMap::is_empty) {
+            self.pending_sends.remove(&host_id);
+        }
+    }
+
+    /// Evicts pre-handshake send buffers whose connection on `host_id` was
+    /// reset or closed without ever establishing, so a failed connection can
+    /// never leak its buffered data for the simulator's lifetime. The dropped
+    /// volume is surfaced in the trace summary.
+    fn evict_dead_pending(&mut self, host_id: HostId) {
+        let (Some(host), Some(conns)) = (self.hosts.get(&host_id), self.pending_sends.get(&host_id))
+        else {
+            return;
+        };
+        let dead: Vec<ConnId> = conns
+            .keys()
+            .filter(|c| {
+                matches!(
+                    host.connection_state(**c),
+                    None | Some(TcpState::Closed) | Some(TcpState::Reset)
+                )
+            })
+            .copied()
+            .collect();
+        for conn in dead {
+            if let Some(chunks) = self
+                .pending_sends
+                .get_mut(&host_id)
+                .and_then(|conns| conns.remove(&conn))
+            {
+                let bytes: usize = chunks.iter().map(Bytes::len).sum();
+                self.trace
+                    .note_dropped_pending(chunks.len() as u64, bytes as u64);
+            }
+        }
+        if self.pending_sends.get(&host_id).is_some_and(HashMap::is_empty) {
+            self.pending_sends.remove(&host_id);
         }
     }
 
     /// Runs the simulation until no events remain.
-    pub fn run_until_idle(&mut self) {
-        while self.step() {}
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EventBudgetExhausted`] if the event budget runs out
+    /// before the queue drains.
+    pub fn run_until_idle(&mut self) -> Result<(), NetError> {
+        while self.step()? {}
+        Ok(())
     }
 
     /// Runs the simulation until the clock reaches `deadline` or the queue
     /// drains, whichever comes first.
-    pub fn run_until(&mut self, deadline: Instant) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EventBudgetExhausted`] if the event budget runs out
+    /// first.
+    pub fn run_until(&mut self, deadline: Instant) -> Result<(), NetError> {
         while let Some(event) = self.queue.peek() {
             if event.at > deadline {
                 break;
             }
-            self.step();
+            self.step()?;
         }
         if self.clock.now() < deadline {
             self.clock.advance_to(deadline);
         }
+        Ok(())
     }
 
     /// Runs the simulation for an additional `duration` of simulated time.
-    pub fn run_for(&mut self, duration: Duration) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EventBudgetExhausted`] if the event budget runs out
+    /// first.
+    pub fn run_for(&mut self, duration: Duration) -> Result<(), NetError> {
         let deadline = self.clock.now() + duration;
-        self.run_until(deadline);
+        self.run_until(deadline)
     }
 }
 
 /// A convenience service that answers every request chunk with a fixed byte
 /// string. Used by tests and by the cache-eviction junk-object server.
+///
+/// The response is held as [`Bytes`]: every reply shares the one buffer with
+/// the segments on the wire, the packet trace and the receiver.
 #[derive(Debug, Clone)]
 pub struct FixedResponder {
-    response: Vec<u8>,
+    response: Bytes,
     delay: Duration,
 }
 
 impl FixedResponder {
     /// Creates a responder that always replies with `response` after `delay`.
-    pub fn new(response: impl Into<Vec<u8>>, delay: Duration) -> Self {
+    pub fn new(response: impl Into<Bytes>, delay: Duration) -> Self {
         FixedResponder {
             response: response.into(),
             delay,
@@ -565,7 +753,7 @@ impl FixedResponder {
 }
 
 impl Service for FixedResponder {
-    fn on_data(&mut self, _conn: ConnId, _data: &[u8]) -> Vec<Vec<u8>> {
+    fn on_data(&mut self, _conn: ConnId, _data: &[u8]) -> Vec<Bytes> {
         vec![self.response.clone()]
     }
 
@@ -601,7 +789,7 @@ mod tests {
         let conn = sim.connect(client, server, 80).unwrap();
         sim.send(client, conn, b"GET / HTTP/1.1\r\nHost: example.org\r\n\r\n")
             .unwrap();
-        sim.run_until_idle();
+        sim.run_until_idle().unwrap();
 
         // Server saw the request.
         let sconn = sim.connections(server)[0];
@@ -633,7 +821,7 @@ mod tests {
         let conn = sim.connect(client, server, 80).unwrap();
         sim.send(client, conn, b"GET /my.js HTTP/1.1\r\nHost: somesite.com\r\n\r\n")
             .unwrap();
-        sim.run_until_idle();
+        sim.run_until_idle().unwrap();
 
         let body = sim.received(client, conn);
         let text = String::from_utf8_lossy(&body);
@@ -668,7 +856,7 @@ mod tests {
 
         let conn = sim.connect(client, server, 80).unwrap();
         sim.send(client, conn, b"GET /my.js HTTP/1.1\r\n\r\n").unwrap();
-        sim.run_until_idle();
+        sim.run_until_idle().unwrap();
 
         let text = String::from_utf8_lossy(&sim.received(client, conn)).to_string();
         assert!(text.contains("genuine-script"));
@@ -682,23 +870,55 @@ mod tests {
         let conn = sim.connect(client, server, 80).unwrap();
         // Queued before the handshake completes.
         sim.send(client, conn, b"early data").unwrap();
-        sim.run_until_idle();
+        assert_eq!(sim.pending_send_buffers(), 1);
+        sim.run_until_idle().unwrap();
+        assert_eq!(sim.pending_send_buffers(), 0);
         let sconn = sim.connections(server)[0];
         assert_eq!(sim.received(server, sconn), b"early data");
+        // Flushed, not dropped.
+        assert_eq!(sim.trace().summary().pending_chunks_dropped, 0);
     }
 
     #[test]
     fn connect_to_closed_port_is_reset() {
         let (mut sim, client, server, _, _) = basic_world();
         let conn = sim.connect(client, server, 8080).unwrap();
-        sim.run_until_idle();
+        sim.run_until_idle().unwrap();
         assert!(!sim.host(client).is_established(conn));
+    }
+
+    #[test]
+    fn send_on_a_dead_connection_is_rejected_not_buffered() {
+        let (mut sim, client, server, _, _) = basic_world();
+        let conn = sim.connect(client, server, 8080).unwrap();
+        sim.run_until_idle().unwrap();
+        // The RST has landed and the queue is idle: a late send must error
+        // instead of parking a buffer nothing will ever evict.
+        let err = sim.send(client, conn, b"late data").unwrap_err();
+        assert!(matches!(err, NetError::InvalidState { .. }));
+        assert_eq!(sim.pending_send_buffers(), 0);
+    }
+
+    #[test]
+    fn reset_connection_evicts_pending_sends() {
+        let (mut sim, client, server, _, _) = basic_world();
+        // Nobody listens on 8080: the SYN is answered with RST, so the
+        // buffered early data can never be flushed and must be evicted.
+        let conn = sim.connect(client, server, 8080).unwrap();
+        sim.send(client, conn, b"doomed payload").unwrap();
+        assert_eq!(sim.pending_send_buffers(), 1);
+        sim.run_until_idle().unwrap();
+        assert!(!sim.host(client).is_established(conn));
+        assert_eq!(sim.pending_send_buffers(), 0, "pending buffer leaked past the RST");
+        let summary = sim.trace().summary();
+        assert_eq!(summary.pending_chunks_dropped, 1);
+        assert_eq!(summary.pending_bytes_dropped, b"doomed payload".len() as u64);
     }
 
     #[test]
     fn run_for_advances_clock_even_without_events() {
         let (mut sim, _, _, _, _) = basic_world();
-        sim.run_for(Duration::from_millis(5));
+        sim.run_for(Duration::from_millis(5)).unwrap();
         assert_eq!(sim.now().as_micros(), 5_000);
     }
 
@@ -711,11 +931,69 @@ mod tests {
         );
         let conn = sim.connect(client, server, 80).unwrap();
         sim.send(client, conn, b"req").unwrap();
-        sim.run_until_idle();
+        sim.run_until_idle().unwrap();
         let trace = sim.trace();
         assert!(trace.len() >= 5, "handshake + data + ack should be recorded, got {}", trace.len());
         assert!(trace.render().contains("victim"));
         assert!(trace.bytes_between("victim", "server") >= 3);
+    }
+
+    #[test]
+    fn summary_only_trace_counts_without_retaining() {
+        let (mut sim, client, server, _, _) = basic_world();
+        sim.set_trace_mode(TraceMode::SummaryOnly);
+        sim.set_service(
+            server,
+            Box::new(FixedResponder::new(&b"resp"[..], Duration::from_micros(100))),
+        );
+        let conn = sim.connect(client, server, 80).unwrap();
+        sim.send(client, conn, b"req").unwrap();
+        sim.run_until_idle().unwrap();
+        let trace = sim.trace();
+        assert!(trace.is_empty());
+        assert!(trace.summary().total_events >= 5);
+        assert!(trace.summary().payload_bytes >= 7);
+        // Nothing retained: every event seen counts as dropped.
+        assert_eq!(trace.summary().events_dropped, trace.summary().total_events);
+    }
+
+    #[test]
+    fn ring_trace_is_bounded_and_keeps_the_tail() {
+        let (mut sim, client, server, _, _) = basic_world();
+        sim.set_trace_mode(TraceMode::Ring(3));
+        sim.set_service(
+            server,
+            Box::new(FixedResponder::new(&b"resp"[..], Duration::from_micros(100))),
+        );
+        let conn = sim.connect(client, server, 80).unwrap();
+        sim.send(client, conn, b"req").unwrap();
+        sim.run_until_idle().unwrap();
+        let trace = sim.trace();
+        assert_eq!(trace.len(), 3);
+        let total = trace.summary().total_events;
+        assert!(total > 3);
+        assert_eq!(trace.summary().events_dropped, total - 3);
+        // The retained tail is the most recent transmissions.
+        let last = trace.events().last().unwrap();
+        assert_eq!(last.delivered_at.as_micros(), sim.now().as_micros());
+    }
+
+    #[test]
+    fn take_trace_keeps_interned_names_valid() {
+        let (mut sim, client, server, _, _) = basic_world();
+        sim.set_service(
+            server,
+            Box::new(FixedResponder::new(&b"resp"[..], Duration::from_micros(100))),
+        );
+        let conn = sim.connect(client, server, 80).unwrap();
+        sim.send(client, conn, b"req").unwrap();
+        sim.run_until_idle().unwrap();
+        let first = sim.take_trace();
+        assert!(first.render().contains("victim"));
+        // A second exchange records into the fresh trace with the same names.
+        sim.send(client, conn, b"again").unwrap();
+        sim.run_until_idle().unwrap();
+        assert!(sim.trace().render().contains("victim -> server"));
     }
 
     #[test]
@@ -730,8 +1008,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "event budget exhausted")]
-    fn tiny_event_budget_trips_the_feedback_guard() {
+    fn tiny_event_budget_reports_a_typed_error() {
         let (mut sim, client, server, _, _) = basic_world();
         sim.set_event_budget(2);
         sim.set_service(
@@ -741,6 +1018,73 @@ mod tests {
         // The handshake alone takes more than two events.
         let conn = sim.connect(client, server, 80).unwrap();
         sim.send(client, conn, b"req").unwrap();
-        sim.run_until_idle();
+        let err = sim.run_until_idle().unwrap_err();
+        assert_eq!(err, NetError::EventBudgetExhausted { budget: 2 });
+        assert_eq!(sim.events_processed(), 2);
+        // The simulator survives the error instead of poisoning the process.
+        assert!(err.to_string().contains("event budget exhausted"));
+    }
+
+    #[test]
+    fn exhausted_run_resumes_without_losing_events() {
+        // The budget error leaves the in-flight event queued: raising the
+        // budget and resuming completes the exchange as if never interrupted.
+        let (mut sim, client, server, _, _) = basic_world();
+        sim.set_event_budget(2);
+        sim.set_service(
+            server,
+            Box::new(FixedResponder::new(&b"resp"[..], Duration::from_micros(100))),
+        );
+        let conn = sim.connect(client, server, 80).unwrap();
+        sim.send(client, conn, b"req").unwrap();
+        assert!(sim.run_until_idle().is_err());
+        sim.set_event_budget(DEFAULT_EVENT_BUDGET);
+        sim.run_until_idle().unwrap();
+        assert_eq!(sim.received(client, conn), b"resp");
+    }
+
+    #[test]
+    fn zero_jitter_keeps_delivery_times_identical() {
+        let run = |jitter: Option<Duration>| {
+            let (mut sim, client, server, wifi, _) = basic_world();
+            if let Some(j) = jitter {
+                sim.set_medium_jitter(wifi, j);
+            }
+            sim.set_service(
+                server,
+                Box::new(FixedResponder::new(&b"resp"[..], Duration::from_micros(100))),
+            );
+            let conn = sim.connect(client, server, 80).unwrap();
+            sim.send(client, conn, b"req").unwrap();
+            sim.run_until_idle().unwrap();
+            sim.trace().render()
+        };
+        assert_eq!(run(None), run(Some(Duration::ZERO)));
+    }
+
+    #[test]
+    fn jittered_runs_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(seed);
+            let wifi = sim.add_medium(MediumKind::SharedWireless, 2_000);
+            let wan = sim.add_medium(MediumKind::WideArea, 40_000);
+            sim.set_medium_jitter(wifi, Duration::from_micros(700));
+            sim.set_medium_jitter(wan, Duration::from_micros(4_000));
+            let client = sim.add_host("victim", IpAddr::new(10, 0, 0, 2), wifi);
+            let server = sim.add_host("server", IpAddr::new(203, 0, 113, 10), wan);
+            sim.listen(server, 80);
+            sim.set_service(
+                server,
+                Box::new(FixedResponder::new(&b"resp"[..], Duration::from_micros(100))),
+            );
+            let conn = sim.connect(client, server, 80).unwrap();
+            sim.send(client, conn, b"req").unwrap();
+            sim.run_until_idle().unwrap();
+            sim.trace().render()
+        };
+        // Same seed, same workload: byte-identical traces despite jitter.
+        assert_eq!(run(11), run(11));
+        // A different seed draws different jitter.
+        assert_ne!(run(11), run(12));
     }
 }

@@ -272,22 +272,38 @@ impl TcpConnection {
     /// Returns [`NetError::InvalidState`] if the connection is not
     /// established.
     pub fn send(&mut self, data: &[u8]) -> Result<Vec<Segment>, NetError> {
+        self.send_bytes(Bytes::copy_from_slice(data))
+    }
+
+    /// [`TcpConnection::send`] without the copy: each MSS-sized segment
+    /// payload is a zero-copy slice of the shared buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidState`] if the connection is not
+    /// established.
+    pub fn send_bytes(&mut self, data: Bytes) -> Result<Vec<Segment>, NetError> {
         if !self.is_established() {
             return Err(NetError::InvalidState {
                 reason: format!("cannot send in state {:?}", self.state),
             });
         }
-        let mut segments = Vec::new();
-        for chunk in data.chunks(self.mss) {
+        let mut segments = Vec::with_capacity(data.len().div_ceil(self.mss).max(1));
+        let mut offset = 0usize;
+        while offset < data.len() {
+            let end = (offset + self.mss).min(data.len());
+            let chunk = data.slice(offset..end);
+            let len = chunk.len() as u32;
             let seg = Segment::data(
                 self.local.port,
                 self.remote.port,
                 self.snd_nxt,
                 self.rcv_nxt,
-                Bytes::copy_from_slice(chunk),
+                chunk,
             );
-            self.snd_nxt = self.snd_nxt + chunk.len() as u32;
+            self.snd_nxt = self.snd_nxt + len;
             segments.push(seg);
+            offset = end;
         }
         Ok(segments)
     }

@@ -1,0 +1,83 @@
+//! Integration coverage for the bounded simulator hot path: trace recorder
+//! modes are observable through the public experiment API, the campaign
+//! fleet scales without retaining per-packet memory, and starved scenarios
+//! fail as per-artifact errors instead of sinking their batch.
+
+use master_parasite::netsim::capture::TraceMode;
+use master_parasite::netsim::error::NetError;
+use parasite::experiments::{
+    try_run_many, ExperimentError, ExperimentId, Registry, RunConfig,
+};
+
+fn quick_config() -> RunConfig {
+    RunConfig {
+        sites: 1_500,
+        crawl_sites: 400,
+        days: 20,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn table2_is_identical_under_every_trace_mode() {
+    // The injection matrix only reads delivered bytes, so bounding (or
+    // dropping) the packet trace must not change the result.
+    let experiment = Registry::get(ExperimentId::Table2);
+    let render = |mode: TraceMode| {
+        experiment
+            .run(&RunConfig {
+                trace_mode: mode,
+                ..quick_config()
+            })
+            .render_text()
+    };
+    let full = render(TraceMode::Full);
+    assert_eq!(full, render(TraceMode::Ring(64)));
+    assert_eq!(full, render(TraceMode::SummaryOnly));
+}
+
+#[test]
+fn fig2_flow_survives_a_summary_only_config() {
+    // The Figure 2 flow needs real events, so it pins a full trace no matter
+    // what the sweep-wide recorder mode says.
+    let artifact = Registry::get(ExperimentId::Fig2).run(&RunConfig {
+        trace_mode: TraceMode::SummaryOnly,
+        ..quick_config()
+    });
+    assert!(artifact.render_text().contains("[ATTACK]"));
+}
+
+#[test]
+fn campaign_fleet_is_deterministic_and_loses_no_clients() {
+    let config = RunConfig {
+        fleet_clients: 1_000,
+        fleet_aps: 16,
+        jitter_us: 250,
+        ..quick_config()
+    };
+    let first = Registry::get(ExperimentId::CampaignFleet).run(&config);
+    let second = Registry::get(ExperimentId::CampaignFleet).run(&config);
+    assert_eq!(first, second, "same seed, same fleet, same artifact");
+
+    let result = first.data.as_campaign_fleet().expect("campaign artifact");
+    assert_eq!(result.infected_clients + result.clean_clients, 1_000);
+    assert_eq!(result.failed_aps, 0);
+    assert!(result.infected_clients > result.clean_clients);
+}
+
+#[test]
+fn starved_task_fails_alone_in_a_mixed_sweep() {
+    let healthy = quick_config();
+    let starved = RunConfig {
+        event_budget: 2,
+        ..quick_config()
+    };
+    let results = try_run_many(&[ExperimentId::Table2], &[starved, healthy], 2);
+    assert_eq!(results.len(), 2);
+    assert_eq!(
+        results[0],
+        Err(ExperimentError::Net(NetError::EventBudgetExhausted { budget: 2 }))
+    );
+    let artifact = results[1].as_ref().expect("the healthy config completes");
+    assert_eq!(artifact.id, ExperimentId::Table2);
+}

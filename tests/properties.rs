@@ -6,6 +6,7 @@ use mp_httpsim::body::{Body, ResourceKind};
 use mp_httpsim::caching::CacheDirectives;
 use mp_httpsim::message::Response;
 use mp_httpsim::url::Url;
+use mp_netsim::capture::TraceMode;
 use mp_netsim::seq::SeqNum;
 use mp_netsim::tcp::Reassembler;
 use parasite::cnc::{decode_dimensions, decode_upstream, encode_dimensions, encode_upstream};
@@ -139,10 +140,11 @@ proptest! {
     }
 
     /// `ExperimentId` survives a Display → FromStr round trip for every
-    /// variant, including case-mangled and whitespace-padded spellings.
+    /// variant (paper set plus extensions), including case-mangled and
+    /// whitespace-padded spellings.
     #[test]
-    fn experiment_id_display_from_str_round_trips(index in 0usize..11, mangle in 0u8..4) {
-        let id = ExperimentId::ALL[index];
+    fn experiment_id_display_from_str_round_trips(index in 0usize..12, mangle in 0u8..4) {
+        let id = ExperimentId::EXTENDED[index];
         let rendered = id.to_string();
         let spelled = match mangle {
             0 => rendered.clone(),
@@ -164,8 +166,22 @@ proptest! {
         crawl_sites in 0usize..1_000_000,
         days in 0u32..10_000,
         event_budget in 1u64..100_000_000,
+        trace_mode_pick in 0u8..3,
+        ring in 1usize..1_000_000,
+        jitter_us in 0u64..1_000_000,
+        fleet_clients in 0usize..1_000_000,
+        fleet_aps in 1usize..10_000,
+        fleet_jobs in 0usize..64,
     ) {
-        let config = RunConfig { seed, scale, sites, crawl_sites, days, event_budget };
+        let trace_mode = match trace_mode_pick {
+            0 => TraceMode::Full,
+            1 => TraceMode::SummaryOnly,
+            _ => TraceMode::Ring(ring),
+        };
+        let config = RunConfig {
+            seed, scale, sites, crawl_sites, days, event_budget,
+            trace_mode, jitter_us, fleet_clients, fleet_aps, fleet_jobs,
+        };
         let text = config.to_json().to_string();
         let parsed = Json::parse(&text).expect("config JSON parses");
         prop_assert_eq!(RunConfig::from_json(&parsed), Some(config));

@@ -2,8 +2,10 @@
 //!
 //! Implements the [`Bytes`] type — an immutable, cheaply clonable,
 //! reference-counted byte buffer — with the subset of the real crate's API the
-//! workspace uses. Cloning shares the underlying allocation, so packet
-//! payloads can fan out across simulated links without copying.
+//! workspace uses. Cloning shares the underlying allocation, and
+//! [`Bytes::slice`] produces zero-copy views (an offset/length window over the
+//! shared allocation, exactly like the real crate), so packet payloads can fan
+//! out across simulated links and be re-segmented at the MSS without copying.
 
 #![forbid(unsafe_code)]
 
@@ -12,45 +14,52 @@ use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;
 
-/// An immutable, reference-counted byte buffer. Clones share storage.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// An immutable, reference-counted byte buffer. Clones and slices share
+/// storage.
+#[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    start: usize,
+    len: usize,
 }
 
 impl Bytes {
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let len = data.len();
+        Bytes { data, start: 0, len }
+    }
+
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        Bytes {
-            data: Arc::from(&[][..]),
-        }
+        Bytes::from_arc(Arc::from(&[][..]))
     }
 
     /// Creates a buffer from a static slice.
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes {
-            data: Arc::from(data),
-        }
+        Bytes::from_arc(Arc::from(data))
     }
 
     /// Copies `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes {
-            data: Arc::from(data),
-        }
+        Bytes::from_arc(Arc::from(data))
     }
 
     /// Buffer length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
-    /// Returns a sub-range as a new (copied) buffer.
+    /// Returns a sub-range as a new buffer sharing the same allocation
+    /// (zero-copy, like the real crate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -61,14 +70,24 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&n) => n + 1,
             Bound::Excluded(&n) => n,
-            Bound::Unbounded => self.len(),
+            Bound::Unbounded => self.len,
         };
-        Bytes::copy_from_slice(&self.data[start..end])
+        assert!(start <= end, "slice start {start} past end {end}");
+        assert!(end <= self.len, "slice end {end} past buffer length {}", self.len);
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + start,
+            len: end - start,
+        }
     }
 
     /// Returns the contents as a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
     }
 }
 
@@ -82,26 +101,26 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &byte in self.data.iter() {
+        for &byte in self.as_slice() {
             for escaped in std::ascii::escape_default(byte) {
                 write!(f, "{}", escaped as char)?;
             }
@@ -110,17 +129,41 @@ impl fmt::Debug for Bytes {
     }
 }
 
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
-        Bytes {
-            data: Arc::from(data.into_boxed_slice()),
-        }
+        Bytes::from_arc(Arc::from(data.into_boxed_slice()))
     }
 }
 
 impl From<Box<[u8]>> for Bytes {
     fn from(data: Box<[u8]>) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes::from_arc(Arc::from(data))
     }
 }
 
@@ -150,19 +193,31 @@ impl FromIterator<u8> for Bytes {
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &self.data[..] == other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        &self.data[..] == *other
+        self.as_slice() == *other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        &self.data[..] == other.as_slice()
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
     }
 }
 
@@ -184,6 +239,34 @@ mod tests {
         assert_eq!(&bytes[..5], b"hello");
         assert_eq!(bytes.slice(6..).as_ref(), b"world");
         assert_eq!(bytes.len(), 11);
+    }
+
+    #[test]
+    fn slices_are_zero_copy_views() {
+        let bytes = Bytes::copy_from_slice(b"hello world");
+        let tail = bytes.slice(6..);
+        // The view points into the original allocation.
+        assert_eq!(tail.as_ref().as_ptr(), bytes.as_ref()[6..].as_ptr());
+        // Sub-slicing a slice stays within the same allocation too.
+        let sub = tail.slice(1..3);
+        assert_eq!(sub.as_ref(), b"or");
+        assert_eq!(sub.as_ref().as_ptr(), bytes.as_ref()[7..].as_ptr());
+    }
+
+    #[test]
+    #[should_panic(expected = "past buffer length")]
+    fn out_of_bounds_slice_panics() {
+        let bytes = Bytes::copy_from_slice(b"abc");
+        let _ = bytes.slice(..4);
+    }
+
+    #[test]
+    fn equality_respects_windows() {
+        let bytes = Bytes::copy_from_slice(b"xxabcxx");
+        let window = bytes.slice(2..5);
+        assert_eq!(window, Bytes::copy_from_slice(b"abc"));
+        assert_eq!(window, *b"abc");
+        assert_eq!(window.to_vec(), b"abc".to_vec());
     }
 
     #[test]
