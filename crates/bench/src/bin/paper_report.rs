@@ -33,6 +33,8 @@ OPTIONS:
                           in microseconds [default: 0]
     --fleet-clients <n>   campaign_fleet: total simulated clients [default: 100000]
     --fleet-aps <n>       campaign_fleet: number of cafe APs [default: 128]
+    --fleet-shards <n>    campaign_fleet: seed-sweep shards the fleet is split
+                          across (merged into one artifact) [default: 1]
     --fleet-jobs <n>      campaign_fleet: worker threads for the per-AP sims
                           (0 = auto-size to the machine) [default: 0]
     --jobs <n>            worker threads for independent experiments [default: 1]
@@ -112,6 +114,14 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                         .map_err(|_| "--fleet-aps is out of range".to_string())?;
                 if config.fleet_aps == 0 {
                     return Err("--fleet-aps must be at least 1".to_string());
+                }
+            }
+            "--fleet-shards" => {
+                config.fleet_shards =
+                    usize::try_from(parse_number(&value_for("--fleet-shards")?, "--fleet-shards")?)
+                        .map_err(|_| "--fleet-shards is out of range".to_string())?;
+                if config.fleet_shards == 0 {
+                    return Err("--fleet-shards must be at least 1".to_string());
                 }
             }
             "--fleet-jobs" => {

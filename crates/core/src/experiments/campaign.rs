@@ -15,7 +15,7 @@
 //! `failed_aps`) instead of aborting the sweep.
 
 use super::tables::{build_race_world, RaceWorld};
-use super::{parallel_tasks, ExperimentError, RunConfig};
+use super::{parallel_tasks, ExperimentError, ExperimentId, Registry, RunConfig};
 use crate::json::{Json, ToJson};
 use crate::script::Parasite;
 use mp_httpsim::message::{Request, Response};
@@ -33,6 +33,8 @@ const MAX_CLIENTS_PER_AP: usize = 65_536;
 /// Result of the campaign fleet experiment.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CampaignFleetResult {
+    /// Seed-sweep shards the fleet was split across (1 = unsharded).
+    pub shards: usize,
     /// Access points simulated.
     pub aps: usize,
     /// Total simulated clients across the fleet.
@@ -69,6 +71,7 @@ impl CampaignFleetResult {
     pub fn render(&self) -> String {
         format!(
             "Campaign - population-scale cafe-AP fleet sweep\n\
+             seed-sweep shards:        {:>10}\n\
              access points:            {:>10}\n\
              simulated clients:        {:>10}\n\
              infected clients:         {:>10}  ({:.1} %)\n\
@@ -78,6 +81,7 @@ impl CampaignFleetResult {
              payload bytes:            {:>10}\n\
              injected responses:       {:>10}\n\
              pending bytes dropped:    {:>10}\n",
+            self.shards,
             self.aps,
             self.clients,
             self.infected_clients,
@@ -95,6 +99,7 @@ impl CampaignFleetResult {
 impl ToJson for CampaignFleetResult {
     fn to_json(&self) -> Json {
         Json::obj([
+            ("shards", self.shards.to_json()),
             ("aps", self.aps.to_json()),
             ("clients", self.clients.to_json()),
             ("infected_clients", self.infected_clients.to_json()),
@@ -191,10 +196,105 @@ fn simulate_ap(task: &ApTask, config: &RunConfig) -> Result<ApOutcome, NetError>
     })
 }
 
-/// Runs the campaign fleet sweep: `config.fleet_clients` clients spread over
-/// `config.fleet_aps` independent AP simulations executed on scoped worker
-/// threads, aggregated deterministically in AP order.
+/// Divides `total` into `parts` nearly equal slices (earlier slices take the
+/// remainder).
+fn share(total: usize, parts: usize, index: usize) -> usize {
+    total / parts + usize::from(index < total % parts)
+}
+
+/// Runs the campaign fleet: unsharded for `fleet_shards <= 1`, otherwise a
+/// seed-sweep of independent shard runs (each its own registry task, exactly
+/// as a `run_many` sweep would schedule them) whose trace summaries and
+/// infection counts are merged into one artifact in shard order.
 pub(super) fn campaign_fleet(config: &RunConfig) -> Result<CampaignFleetResult, ExperimentError> {
+    let shards = config.fleet_shards.max(1);
+    if shards == 1 {
+        return campaign_fleet_shard(config);
+    }
+    // Never more shards than APs: every shard needs at least one simulation.
+    let shards = shards.min(config.fleet_aps.max(1));
+    let shard_configs: Vec<RunConfig> = (0..shards)
+        .map(|index| RunConfig {
+            // A distinct, well-mixed seed stream per shard (offset so shard
+            // seeds never coincide with the unsharded run's per-AP seeds).
+            seed: mix_seed(config.seed, 0x5eed_5a4d ^ index as u64),
+            fleet_clients: share(config.fleet_clients, shards, index),
+            fleet_aps: share(config.fleet_aps.max(1), shards, index),
+            fleet_shards: 1,
+            // Shards already run in parallel; keep each shard's AP sweep
+            // sequential so the machine is not oversubscribed.
+            fleet_jobs: 1,
+            ..*config
+        })
+        .collect();
+
+    let jobs = if config.fleet_jobs == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        config.fleet_jobs
+    }
+    .min(shards);
+    let experiment = Registry::get(ExperimentId::CampaignFleet);
+    let outcomes = parallel_tasks(&shard_configs, jobs, |shard| experiment.try_run(shard));
+
+    let mut merged = CampaignFleetResult {
+        shards,
+        aps: 0,
+        clients: config.fleet_clients,
+        infected_clients: 0,
+        clean_clients: 0,
+        failed_aps: 0,
+        total_events: 0,
+        payload_bytes: 0,
+        injected_events: 0,
+        pending_bytes_dropped: 0,
+    };
+    let mut failed_shards = 0usize;
+    let mut first_error: Option<ExperimentError> = None;
+    for (outcome, shard_config) in outcomes.into_iter().zip(&shard_configs) {
+        let shard_result = match outcome {
+            Ok(artifact) => artifact.data.as_campaign_fleet().cloned(),
+            Err(error) => {
+                first_error.get_or_insert(error);
+                None
+            }
+        };
+        match shard_result {
+            Some(shard) => {
+                merged.aps += shard.aps;
+                merged.infected_clients += shard.infected_clients;
+                merged.clean_clients += shard.clean_clients;
+                merged.failed_aps += shard.failed_aps;
+                merged.total_events += shard.total_events;
+                merged.payload_bytes += shard.payload_bytes;
+                merged.injected_events += shard.injected_events;
+                merged.pending_bytes_dropped += shard.pending_bytes_dropped;
+            }
+            None => {
+                // A shard that failed outright contributes its APs as failed;
+                // its clients count as neither infected nor clean.
+                merged.aps += shard_config.fleet_aps;
+                merged.failed_aps += shard_config.fleet_aps;
+                failed_shards += 1;
+            }
+        }
+    }
+    if failed_shards == shards {
+        // Every shard failed: surface the first shard's *actual* error (e.g.
+        // an overpacked-AP Config error), not a synthesized budget failure.
+        return Err(first_error.unwrap_or(ExperimentError::Net(
+            NetError::EventBudgetExhausted {
+                budget: config.event_budget,
+            },
+        )));
+    }
+    Ok(merged)
+}
+
+/// Runs one (unsharded) fleet shard: `config.fleet_clients` clients spread
+/// over `config.fleet_aps` independent AP simulations executed on scoped
+/// worker threads, aggregated deterministically in AP order.
+fn campaign_fleet_shard(config: &RunConfig) -> Result<CampaignFleetResult, ExperimentError> {
     let aps = config.fleet_aps.max(1);
     let total_clients = config.fleet_clients;
     let base = total_clients / aps;
@@ -222,6 +322,7 @@ pub(super) fn campaign_fleet(config: &RunConfig) -> Result<CampaignFleetResult, 
     let outcomes = parallel_tasks(&tasks, jobs, |task| simulate_ap(task, config));
 
     let mut result = CampaignFleetResult {
+        shards: 1,
         aps,
         clients: total_clients,
         infected_clients: 0,

@@ -236,6 +236,12 @@ pub struct RunConfig {
     /// Number of café access points the fleet's clients are spread over (one
     /// packet-level simulation per AP).
     pub fleet_aps: usize,
+    /// Number of seed-sweep shards the campaign fleet is split across. Each
+    /// shard runs its slice of clients and APs as an independent
+    /// [`run_many`]-style task under a derived seed, and the per-shard trace
+    /// summaries are merged into one artifact. `1` (the default, and anything
+    /// below) runs unsharded.
+    pub fleet_shards: usize,
     /// Worker threads for the fleet's per-AP simulations; `0` (the default)
     /// auto-sizes to the machine. Set to `1` to keep a campaign run
     /// single-threaded, e.g. when it is itself one task of a parallel sweep.
@@ -255,6 +261,7 @@ impl Default for RunConfig {
             jitter_us: 0,
             fleet_clients: 100_000,
             fleet_aps: 128,
+            fleet_shards: 1,
             fleet_jobs: 0,
         }
     }
@@ -290,6 +297,9 @@ impl RunConfig {
             fleet_aps: field(json, "fleet_aps", defaults.fleet_aps, |v| {
                 v.as_u64().map(|n| n as usize)
             })?,
+            fleet_shards: field(json, "fleet_shards", defaults.fleet_shards, |v| {
+                v.as_u64().map(|n| n as usize)
+            })?,
             fleet_jobs: field(json, "fleet_jobs", defaults.fleet_jobs, |v| {
                 v.as_u64().map(|n| n as usize)
             })?,
@@ -310,6 +320,7 @@ impl ToJson for RunConfig {
             ("jitter_us", self.jitter_us.to_json()),
             ("fleet_clients", self.fleet_clients.to_json()),
             ("fleet_aps", self.fleet_aps.to_json()),
+            ("fleet_shards", self.fleet_shards.to_json()),
             ("fleet_jobs", self.fleet_jobs.to_json()),
         ])
     }
@@ -757,6 +768,7 @@ mod tests {
             jitter_us: 250,
             fleet_clients: 9_000,
             fleet_aps: 16,
+            fleet_shards: 2,
             fleet_jobs: 3,
         };
         let json = config.to_json();
@@ -955,6 +967,49 @@ mod tests {
     }
 
     #[test]
+    fn sharded_campaign_fleet_merges_and_stays_deterministic() {
+        let config = RunConfig {
+            fleet_clients: 1_000,
+            fleet_aps: 8,
+            fleet_shards: 4,
+            jitter_us: 150,
+            ..quick_config()
+        };
+        let artifact = run(ExperimentId::CampaignFleet, &config);
+        let result = artifact.data.as_campaign_fleet().expect("campaign artifact");
+        assert_eq!(result.shards, 4);
+        assert_eq!(result.aps, 8);
+        assert_eq!(result.clients, 1_000);
+        assert_eq!(result.infected_clients + result.clean_clients, 1_000);
+        assert_eq!(result.failed_aps, 0);
+        assert!(artifact.render_text().contains("seed-sweep shards"));
+        // Deterministic merge: same config, same artifact.
+        assert_eq!(artifact, run(ExperimentId::CampaignFleet, &config));
+        // A different shard count is a different seed sweep but loses nobody.
+        let other = run(
+            ExperimentId::CampaignFleet,
+            &RunConfig { fleet_shards: 2, ..config },
+        );
+        let other = other.data.as_campaign_fleet().expect("campaign artifact");
+        assert_eq!(other.shards, 2);
+        assert_eq!(other.infected_clients + other.clean_clients, 1_000);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_the_ap_count() {
+        let config = RunConfig {
+            fleet_clients: 200,
+            fleet_aps: 2,
+            fleet_shards: 16,
+            ..quick_config()
+        };
+        let artifact = run(ExperimentId::CampaignFleet, &config);
+        let result = artifact.data.as_campaign_fleet().expect("campaign artifact");
+        assert_eq!(result.shards, 2, "one AP per shard at minimum");
+        assert_eq!(result.infected_clients + result.clean_clients, 200);
+    }
+
+    #[test]
     fn overpacked_fleet_is_a_typed_config_error() {
         // More clients than one AP's /16 address space: a typed error, not a
         // panic in a worker thread.
@@ -966,6 +1021,23 @@ mod tests {
         match Registry::get(ExperimentId::CampaignFleet).try_run(&config) {
             Err(ExperimentError::Config(message)) => assert!(message.contains("fleet_aps")),
             other => panic!("expected a config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overpacked_sharded_fleet_surfaces_the_shard_config_error() {
+        // Sharding must not mask the underlying error class: every shard
+        // fails the per-AP capacity check, and the merge propagates that
+        // Config error instead of synthesizing a budget failure.
+        let config = RunConfig {
+            fleet_clients: 1_000_000,
+            fleet_aps: 4,
+            fleet_shards: 2,
+            ..quick_config()
+        };
+        match Registry::get(ExperimentId::CampaignFleet).try_run(&config) {
+            Err(ExperimentError::Config(message)) => assert!(message.contains("fleet_aps")),
+            other => panic!("expected the shard's config error, got {other:?}"),
         }
     }
 

@@ -7,12 +7,12 @@
 
 use crate::addr::{IpAddr, SocketAddr};
 use crate::error::NetError;
+use crate::fasthash::FxHashMap;
 use crate::link::MediumId;
 use crate::packet::{Packet, Segment};
 use crate::seq::SeqNum;
 use crate::tcp::{AcceptOutcome, TcpConnection, TcpState};
 use bytes::Bytes;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a host within a simulator.
@@ -32,10 +32,22 @@ pub struct ConnId(pub u64);
 pub trait Service: Send {
     /// Handles newly arrived request bytes and returns response chunks.
     ///
-    /// Chunks are [`Bytes`], so a service replaying a prepared response shares
-    /// one buffer with the wire segments, trace and receiver instead of
-    /// copying it per reply.
-    fn on_data(&mut self, conn: ConnId, data: &[u8]) -> Vec<Bytes>;
+    /// Both directions are [`Bytes`]: `data` is the freshly arrived stream as
+    /// zero-copy chunks of the wire segments (no per-delivery reassembly
+    /// buffer is built), and every returned chunk shares one buffer with the
+    /// outgoing segments, trace and receiver instead of being copied per
+    /// reply. A service that needs the request contiguous can concatenate the
+    /// chunks itself — most services only sniff the first chunk's prefix.
+    fn on_data(&mut self, conn: ConnId, data: &[Bytes]) -> Vec<Bytes>;
+
+    /// [`Service::on_data`] appending the response chunks to a caller-owned
+    /// buffer. The simulator calls this form so one response vector is reused
+    /// across every service invocation; implementors with a hot reply path
+    /// (e.g. [`crate::sim::FixedResponder`]) override it to skip the
+    /// intermediate `Vec` entirely.
+    fn on_data_into(&mut self, conn: ConnId, data: &[Bytes], out: &mut Vec<Bytes>) {
+        out.extend(self.on_data(conn, data));
+    }
 
     /// Server-side think time applied before responses are emitted.
     fn processing_delay(&self) -> crate::time::Duration {
@@ -54,17 +66,34 @@ pub struct DeliveryResult {
     pub outcome: Option<AcceptOutcome>,
 }
 
+impl DeliveryResult {
+    /// Empties the result for reuse, keeping the allocated capacity. The
+    /// simulator owns one `DeliveryResult` scratch and recycles it across
+    /// every delivered event.
+    pub fn clear(&mut self) {
+        self.responses.clear();
+        self.data_ready.clear();
+        self.outcome = None;
+    }
+}
+
 /// A simulated host.
+///
+/// Connections are stored in a dense slab indexed by [`ConnId`] (ids are
+/// allocated sequentially from 1 and never freed), so the per-event state
+/// machine advance is a direct vector index instead of a hash lookup; only
+/// the wire-driven demultiplexing step hashes, through a table keyed with the
+/// crate's fast internal hasher.
 pub struct Host {
     id: HostId,
     name: String,
     ip: IpAddr,
     medium: MediumId,
-    connections: HashMap<ConnId, TcpConnection>,
+    /// Connection slab: `ConnId(n)` lives at index `n - 1`.
+    connections: Vec<TcpConnection>,
     /// Demultiplexing table: (local port, remote endpoint) -> connection.
-    demux: HashMap<(u16, SocketAddr), ConnId>,
+    demux: FxHashMap<(u16, SocketAddr), ConnId>,
     listeners: Vec<u16>,
-    next_conn: u64,
     next_ephemeral_port: u16,
     next_iss: u32,
     service: Option<Box<dyn Service>>,
@@ -90,10 +119,9 @@ impl Host {
             name: name.into(),
             ip,
             medium,
-            connections: HashMap::new(),
-            demux: HashMap::new(),
+            connections: Vec::new(),
+            demux: FxHashMap::default(),
             listeners: Vec::new(),
-            next_conn: 1,
             next_ephemeral_port: 49152,
             // Deterministic but distinct per host so sequence numbers differ.
             next_iss: ip.to_u32().wrapping_mul(2654435761),
@@ -143,10 +171,29 @@ impl Host {
         self.listeners.contains(&port)
     }
 
-    fn alloc_conn_id(&mut self) -> ConnId {
-        let id = ConnId(self.next_conn);
-        self.next_conn += 1;
-        id
+    /// The slab index a connection id maps to, if it names a live connection.
+    #[inline]
+    fn conn_index(&self, conn: ConnId) -> Option<usize> {
+        (conn.0 as usize)
+            .checked_sub(1)
+            .filter(|&index| index < self.connections.len())
+    }
+
+    #[inline]
+    fn conn(&self, conn: ConnId) -> Option<&TcpConnection> {
+        self.conn_index(conn).map(|index| &self.connections[index])
+    }
+
+    #[inline]
+    fn conn_mut(&mut self, conn: ConnId) -> Option<&mut TcpConnection> {
+        self.conn_index(conn).map(move |index| &mut self.connections[index])
+    }
+
+    /// Appends a connection to the slab and returns its id (`len` after the
+    /// push, so ids start at 1 and `ConnId(0)` stays invalid).
+    fn push_conn(&mut self, conn: TcpConnection) -> ConnId {
+        self.connections.push(conn);
+        ConnId(self.connections.len() as u64)
     }
 
     fn alloc_iss(&mut self) -> SeqNum {
@@ -168,9 +215,8 @@ impl Host {
         let local = SocketAddr::new(self.ip, self.alloc_ephemeral_port());
         let iss = self.alloc_iss();
         let (conn, syn) = TcpConnection::connect(local, remote, iss);
-        let id = self.alloc_conn_id();
+        let id = self.push_conn(conn);
         self.demux.insert((local.port, remote), id);
-        self.connections.insert(id, conn);
         (id, syn)
     }
 
@@ -193,10 +239,28 @@ impl Host {
     /// [`NetError::InvalidState`] if the connection is not established.
     pub fn send_bytes(&mut self, conn: ConnId, data: Bytes) -> Result<Vec<Segment>, NetError> {
         let connection = self
-            .connections
-            .get_mut(&conn)
+            .conn_mut(conn)
             .ok_or(NetError::UnknownConnection(conn.0))?;
         connection.send_bytes(data)
+    }
+
+    /// [`Host::send_bytes`] into a caller-owned segment buffer (see
+    /// [`TcpConnection::send_bytes_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownConnection`] for an unknown id and
+    /// [`NetError::InvalidState`] if the connection is not established.
+    pub fn send_bytes_into(
+        &mut self,
+        conn: ConnId,
+        data: Bytes,
+        out: &mut Vec<Segment>,
+    ) -> Result<(), NetError> {
+        let connection = self
+            .conn_mut(conn)
+            .ok_or(NetError::UnknownConnection(conn.0))?;
+        connection.send_bytes_into(data, out)
     }
 
     /// Closes a connection, returning the FIN segment.
@@ -207,61 +271,70 @@ impl Host {
     /// [`NetError::InvalidState`] if the connection cannot be closed.
     pub fn close(&mut self, conn: ConnId) -> Result<Segment, NetError> {
         let connection = self
-            .connections
-            .get_mut(&conn)
+            .conn_mut(conn)
             .ok_or(NetError::UnknownConnection(conn.0))?;
         connection.close()
     }
 
     /// Returns the connection state, if the connection exists.
     pub fn connection_state(&self, conn: ConnId) -> Option<TcpState> {
-        self.connections.get(&conn).map(|c| c.state())
+        self.conn(conn).map(|c| c.state())
     }
 
     /// Returns the remote endpoint of a connection.
     pub fn connection_remote(&self, conn: ConnId) -> Option<SocketAddr> {
-        self.connections.get(&conn).map(|c| c.remote())
+        self.conn(conn).map(|c| c.remote())
     }
 
     /// Returns the local endpoint of a connection.
     pub fn connection_local(&self, conn: ConnId) -> Option<SocketAddr> {
-        self.connections.get(&conn).map(|c| c.local())
+        self.conn(conn).map(|c| c.local())
     }
 
     /// Returns all application bytes received on a connection so far.
     pub fn received(&self, conn: ConnId) -> &[u8] {
-        self.connections
-            .get(&conn)
-            .map(|c| c.received())
-            .unwrap_or(&[])
+        self.conn(conn).map(|c| c.received()).unwrap_or(&[])
     }
 
     /// Returns application bytes that arrived since the previous call.
     pub fn read_new(&mut self, conn: ConnId) -> Vec<u8> {
-        self.connections
-            .get_mut(&conn)
-            .map(|c| c.read_new())
-            .unwrap_or_default()
+        self.conn_mut(conn).map(|c| c.read_new()).unwrap_or_default()
+    }
+
+    /// [`Host::read_new`] without the copy: appends the bytes that arrived
+    /// since the previous read to `out` as shared [`Bytes`] chunks (see
+    /// [`TcpConnection::take_new_bytes`]). The simulator owns the scratch
+    /// vector and recycles it across service invocations.
+    pub fn read_new_bytes(&mut self, conn: ConnId, out: &mut Vec<Bytes>) {
+        if let Some(connection) = self.conn_mut(conn) {
+            connection.take_new_bytes(out);
+        }
     }
 
     /// Returns `true` once the connection has completed its handshake.
     pub fn is_established(&self, conn: ConnId) -> bool {
-        self.connections
-            .get(&conn)
-            .map(|c| c.is_established())
-            .unwrap_or(false)
+        self.conn(conn).map(|c| c.is_established()).unwrap_or(false)
     }
 
-    /// Lists ids of all connections on this host.
+    /// Lists ids of all connections on this host (in creation order).
     pub fn connection_ids(&self) -> Vec<ConnId> {
-        let mut ids: Vec<ConnId> = self.connections.keys().copied().collect();
-        ids.sort();
-        ids
+        (1..=self.connections.len() as u64).map(ConnId).collect()
     }
 
     /// Delivers a packet to this host, advancing the owning connection's state
     /// machine (creating a server-side connection for SYNs to listening ports).
     pub fn deliver(&mut self, packet: &Packet) -> DeliveryResult {
+        let mut result = DeliveryResult::default();
+        self.deliver_into(packet, &mut result);
+        result
+    }
+
+    /// [`Host::deliver`] into a caller-owned result, so the simulator's event
+    /// loop reuses one `DeliveryResult` (and its buffers) for every event
+    /// instead of allocating two vectors per delivery. `result` is cleared
+    /// first.
+    pub fn deliver_into(&mut self, packet: &Packet, result: &mut DeliveryResult) {
+        result.clear();
         let remote = SocketAddr::new(packet.src_ip, packet.segment.src_port);
         let local_port = packet.segment.dst_port;
         let key = (local_port, remote);
@@ -274,9 +347,8 @@ impl Host {
                     let local = SocketAddr::new(self.ip, local_port);
                     let iss = self.alloc_iss();
                     let conn = TcpConnection::listen(local, iss);
-                    let id = self.alloc_conn_id();
+                    let id = self.push_conn(conn);
                     self.demux.insert(key, id);
-                    self.connections.insert(id, conn);
                     Some(id)
                 } else {
                     None
@@ -287,7 +359,6 @@ impl Host {
         let Some(conn_id) = conn_id else {
             // No matching connection and not a connectable SYN: answer with RST
             // as a real stack would (unless the stray packet is itself an RST).
-            let mut result = DeliveryResult::default();
             if !packet.segment.flags.rst {
                 result.responses.push(Segment::control(
                     local_port,
@@ -297,26 +368,24 @@ impl Host {
                     crate::packet::TcpFlags::RST,
                 ));
             }
-            return result;
+            return;
         };
 
+        let track_chunks = self.service.is_some();
         let connection = self
-            .connections
-            .get_mut(&conn_id)
+            .conn_mut(conn_id)
             .expect("demuxed connection must exist");
+        // Only hosts with a service consume data incrementally; recording
+        // chunks for anyone else would pin the arriving payload buffers.
+        connection.set_chunk_delivery(track_chunks);
         let before = connection.received().len();
-        let (responses, outcome) = connection.on_segment(remote, &packet.segment);
+        let outcome = connection.on_segment_into(remote, &packet.segment, &mut result.responses);
         let after = connection.received().len();
 
-        let mut result = DeliveryResult {
-            responses,
-            data_ready: Vec::new(),
-            outcome: Some(outcome),
-        };
+        result.outcome = Some(outcome);
         if after > before {
             result.data_ready.push(conn_id);
         }
-        result
     }
 }
 

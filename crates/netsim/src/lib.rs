@@ -53,8 +53,10 @@ pub mod attacker;
 pub mod capture;
 pub mod endpoint;
 pub mod error;
+pub mod fasthash;
 pub mod link;
 pub mod packet;
+mod queue;
 pub mod seq;
 pub mod sim;
 pub mod tcp;

@@ -1,57 +1,52 @@
 //! The discrete-event simulator tying hosts, media and attacker taps together.
+//!
+//! The hot path is built for throughput: hosts and media live in dense
+//! `Vec`-backed slabs indexed directly by [`HostId`] / [`MediumId`] (no tree
+//! or hash lookup per event), queued events are compact keys in a calendar
+//! queue backed by a recycling payload pool (see [`crate::queue`]), and one
+//! set of simulator-owned scratch buffers is reused across deliveries so the
+//! steady state allocates nothing per event.
 
 use crate::addr::{IpAddr, SocketAddr};
 use crate::attacker::{Injection, Tap};
 use crate::capture::{NameId, Trace, TraceEvent, TraceMode};
-use crate::endpoint::{ConnId, Host, HostId, Service};
+use crate::endpoint::{ConnId, DeliveryResult, Host, HostId, Service};
 use crate::error::NetError;
+use crate::fasthash::FxHashMap;
 use crate::link::{Medium, MediumId, MediumKind};
-use crate::packet::Packet;
+use crate::packet::{Packet, Segment};
+use crate::queue::{CalendarQueue, EventBody, EventKey, EventPool};
 use crate::tcp::TcpState;
 use crate::time::{Duration, Instant, SimClock};
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, BTreeMap, HashMap};
 
 /// Default cap on processed events, guarding against runaway feedback loops
 /// between a buggy tap and a host. Large batch sweeps can raise the budget
 /// per simulator via [`Simulator::with_event_budget`].
 pub const DEFAULT_EVENT_BUDGET: u64 = 5_000_000;
 
-#[derive(Debug)]
-struct QueuedEvent {
-    at: Instant,
-    seq: u64,
-    to: HostId,
-    packet: Packet,
-}
-
-impl PartialEq for QueuedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for QueuedEvent {}
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse ordering so the BinaryHeap behaves as a min-heap on (at, seq).
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 struct TapEntry {
     medium: MediumId,
+    /// Whether `medium` is observable, precomputed at registration so the
+    /// per-packet tap scan never consults the media table.
+    observable: bool,
     tap: Box<dyn Tap>,
+}
+
+/// One host's slab entry: the host itself plus the per-host state the event
+/// loop consults on every delivery, kept inline so `step()` performs zero
+/// hash or tree lookups.
+struct HostSlot {
+    host: Host,
+    /// Interned trace name.
+    name: NameId,
+    /// The medium the host is attached to (cached from the host).
+    medium: MediumId,
+    /// Pre-handshake send buffers by connection. `step()` checks plain
+    /// emptiness before running the flush / eviction passes.
+    pending: FxHashMap<ConnId, Vec<Bytes>>,
 }
 
 /// Discrete-event network simulator.
@@ -59,29 +54,38 @@ struct TapEntry {
 /// See the crate-level documentation for an end-to-end example.
 pub struct Simulator {
     clock: SimClock,
-    media: BTreeMap<MediumId, Medium>,
-    hosts: BTreeMap<HostId, Host>,
-    ip_index: HashMap<IpAddr, HostId>,
+    /// Medium slab; `MediumId(n)` lives at index `n`.
+    media: Vec<Medium>,
+    /// Host slab; `HostId(n)` lives at index `n`.
+    hosts: Vec<HostSlot>,
+    ip_index: FxHashMap<IpAddr, HostId>,
     taps: Vec<TapEntry>,
-    queue: BinaryHeap<QueuedEvent>,
-    /// Pre-handshake send buffers, indexed by host so the per-event flush and
-    /// eviction passes touch only the delivered host's connections.
-    pending_sends: HashMap<HostId, HashMap<ConnId, Vec<Bytes>>>,
+    queue: CalendarQueue,
+    /// Payload slab behind the queue's compact keys; slots are recycled
+    /// through a free list as events are delivered.
+    pool: EventPool,
     trace: Trace,
-    host_names: HashMap<HostId, NameId>,
-    foreign_names: HashMap<IpAddr, NameId>,
+    foreign_names: FxHashMap<IpAddr, NameId>,
     attacker_name: NameId,
     unknown_name: NameId,
     next_seq: u64,
-    next_host: u64,
-    next_medium: u64,
     events_processed: u64,
     event_budget: u64,
+    /// `true` once any medium has non-zero jitter; with it `false` (the
+    /// default) the delivery path skips the jitter draw entirely.
+    any_jitter: bool,
     /// Seeded RNG driving optional medium jitter (see
     /// [`Simulator::set_medium_jitter`]). With all jitter at zero — the
     /// default — it is never consulted, so output stays byte-identical to the
     /// jitter-free simulator.
     rng: StdRng,
+    // --- reusable scratch, so the steady state allocates nothing per event ---
+    delivery_scratch: DeliveryResult,
+    chunk_scratch: Vec<Bytes>,
+    response_scratch: Vec<Bytes>,
+    segment_scratch: Vec<Segment>,
+    conn_scratch: Vec<ConnId>,
+    injection_scratch: Vec<(MediumId, Injection)>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -104,23 +108,27 @@ impl Simulator {
         let unknown_name = trace.intern("?");
         Simulator {
             clock: SimClock::new(),
-            media: BTreeMap::new(),
-            hosts: BTreeMap::new(),
-            ip_index: HashMap::new(),
+            media: Vec::new(),
+            hosts: Vec::new(),
+            ip_index: FxHashMap::default(),
             taps: Vec::new(),
-            queue: BinaryHeap::new(),
-            pending_sends: HashMap::new(),
+            queue: CalendarQueue::new(),
+            pool: EventPool::default(),
             trace,
-            host_names: HashMap::new(),
-            foreign_names: HashMap::new(),
+            foreign_names: FxHashMap::default(),
             attacker_name,
             unknown_name,
             next_seq: 0,
-            next_host: 1,
-            next_medium: 1,
             events_processed: 0,
             event_budget: DEFAULT_EVENT_BUDGET,
+            any_jitter: false,
             rng: StdRng::seed_from_u64(seed),
+            delivery_scratch: DeliveryResult::default(),
+            chunk_scratch: Vec::new(),
+            response_scratch: Vec::new(),
+            segment_scratch: Vec::new(),
+            conn_scratch: Vec::new(),
+            injection_scratch: Vec::new(),
         }
     }
 
@@ -169,11 +177,13 @@ impl Simulator {
     /// Adds a transmission medium with the given one-way latency in
     /// microseconds and returns its id.
     pub fn add_medium(&mut self, kind: MediumKind, latency_micros: u64) -> MediumId {
-        let id = MediumId(self.next_medium);
-        self.next_medium += 1;
-        self.media
-            .insert(id, Medium::new(id, kind, Duration::from_micros(latency_micros)));
+        let id = MediumId(self.media.len() as u64);
+        self.media.push(Medium::new(id, kind, Duration::from_micros(latency_micros)));
         id
+    }
+
+    fn medium(&self, id: MediumId) -> Option<&Medium> {
+        self.media.get(id.0 as usize)
     }
 
     /// Enables per-packet jitter on a medium: every traversal draws an extra
@@ -188,9 +198,10 @@ impl Simulator {
     /// Panics if the medium does not exist.
     pub fn set_medium_jitter(&mut self, medium: MediumId, jitter: Duration) {
         self.media
-            .get_mut(&medium)
+            .get_mut(medium.0 as usize)
             .expect("unknown medium id")
             .jitter = jitter;
+        self.any_jitter = self.media.iter().any(|m| m.jitter > Duration::ZERO);
     }
 
     /// Adds a host attached to `medium` and returns its id.
@@ -199,17 +210,28 @@ impl Simulator {
     ///
     /// Panics if another host already uses `ip` or the medium does not exist.
     pub fn add_host(&mut self, name: &str, ip: IpAddr, medium: MediumId) -> HostId {
-        assert!(self.media.contains_key(&medium), "unknown medium {medium:?}");
+        assert!(
+            (medium.0 as usize) < self.media.len(),
+            "unknown medium {medium:?}"
+        );
         assert!(
             !self.ip_index.contains_key(&ip),
             "duplicate host IP address {ip}"
         );
-        let id = HostId(self.next_host);
-        self.next_host += 1;
-        self.hosts.insert(id, Host::new(id, name, ip, medium));
+        let id = HostId(self.hosts.len() as u64);
+        let name_id = self.trace.intern(name);
+        self.hosts.push(HostSlot {
+            host: Host::new(id, name, ip, medium),
+            name: name_id,
+            medium,
+            pending: FxHashMap::default(),
+        });
         self.ip_index.insert(ip, id);
-        self.host_names.insert(id, self.trace.intern(name));
         id
+    }
+
+    fn slot(&self, id: HostId) -> Option<&HostSlot> {
+        self.hosts.get(id.0 as usize)
     }
 
     /// Returns a reference to a host.
@@ -218,7 +240,7 @@ impl Simulator {
     ///
     /// Panics if the host does not exist.
     pub fn host(&self, id: HostId) -> &Host {
-        self.hosts.get(&id).expect("unknown host id")
+        &self.slot(id).expect("unknown host id").host
     }
 
     /// Returns a mutable reference to a host.
@@ -227,7 +249,7 @@ impl Simulator {
     ///
     /// Panics if the host does not exist.
     pub fn host_mut(&mut self, id: HostId) -> &mut Host {
-        self.hosts.get_mut(&id).expect("unknown host id")
+        &mut self.hosts.get_mut(id.0 as usize).expect("unknown host id").host
     }
 
     /// Starts a host listening on a TCP port.
@@ -243,7 +265,12 @@ impl Simulator {
     /// Registers an attacker tap on a medium. Taps only observe traffic on
     /// observable (shared wireless) media.
     pub fn add_tap(&mut self, medium: MediumId, tap: Box<dyn Tap>) {
-        self.taps.push(TapEntry { medium, tap });
+        let observable = self.medium(medium).map(Medium::observable).unwrap_or(false);
+        self.taps.push(TapEntry {
+            medium,
+            observable,
+            tap,
+        });
     }
 
     /// Opens a TCP connection from `client` to `server` on `port`.
@@ -257,9 +284,9 @@ impl Simulator {
     /// Returns [`NetError::UnknownHost`] if either host id is invalid.
     pub fn connect(&mut self, client: HostId, server: HostId, port: u16) -> Result<ConnId, NetError> {
         let server_ip = self
-            .hosts
-            .get(&server)
+            .slot(server)
             .ok_or_else(|| NetError::UnknownHost(format!("{server:?}")))?
+            .host
             .ip();
         self.connect_addr(client, SocketAddr::new(server_ip, port))
     }
@@ -270,10 +297,11 @@ impl Simulator {
     ///
     /// Returns [`NetError::UnknownHost`] if the client id is invalid.
     pub fn connect_addr(&mut self, client: HostId, remote: SocketAddr) -> Result<ConnId, NetError> {
-        let host = self
+        let host = &mut self
             .hosts
-            .get_mut(&client)
-            .ok_or_else(|| NetError::UnknownHost(format!("{client:?}")))?;
+            .get_mut(client.0 as usize)
+            .ok_or_else(|| NetError::UnknownHost(format!("{client:?}")))?
+            .host;
         let client_ip = host.ip();
         let (conn, syn) = host.connect(remote);
         let packet = Packet::new(client_ip, remote.ip, syn);
@@ -300,36 +328,38 @@ impl Simulator {
     /// Returns [`NetError::UnknownHost`] / [`NetError::UnknownConnection`] for
     /// invalid identifiers.
     pub fn send_bytes(&mut self, host: HostId, conn: ConnId, data: Bytes) -> Result<(), NetError> {
-        let h = self
+        let slot = self
             .hosts
-            .get_mut(&host)
+            .get_mut(host.0 as usize)
             .ok_or_else(|| NetError::UnknownHost(format!("{host:?}")))?;
-        let state = h
+        let state = slot
+            .host
             .connection_state(conn)
             .ok_or(NetError::UnknownConnection(conn.0))?;
         // A dead connection can never flush a buffer: reject instead of
-        // buffering into pending_sends, where (with no further events for the
-        // host) nothing would ever evict it.
+        // buffering into the pending map, where (with no further events for
+        // the host) nothing would ever evict it.
         if matches!(state, TcpState::Closed | TcpState::Reset) {
             return Err(NetError::InvalidState {
                 reason: format!("cannot send in state {state:?}"),
             });
         }
-        if h.is_established(conn) {
-            let remote = h.connection_remote(conn).expect("established has remote");
-            let ip = h.ip();
-            let segments = h.send_bytes(conn, data)?;
-            for seg in segments {
+        if slot.host.is_established(conn) {
+            let remote = slot.host.connection_remote(conn).expect("established has remote");
+            let ip = slot.host.ip();
+            let mut segments = std::mem::take(&mut self.segment_scratch);
+            segments.clear();
+            if let Err(error) = slot.host.send_bytes_into(conn, data, &mut segments) {
+                self.segment_scratch = segments;
+                return Err(error);
+            }
+            for seg in segments.drain(..) {
                 let packet = Packet::new(ip, remote.ip, seg);
                 self.transmit(host, packet, false, Duration::ZERO);
             }
+            self.segment_scratch = segments;
         } else {
-            self.pending_sends
-                .entry(host)
-                .or_default()
-                .entry(conn)
-                .or_default()
-                .push(data);
+            slot.pending.entry(conn).or_default().push(data);
         }
         Ok(())
     }
@@ -340,10 +370,11 @@ impl Simulator {
     ///
     /// Propagates host/connection lookup and state errors.
     pub fn close(&mut self, host: HostId, conn: ConnId) -> Result<(), NetError> {
-        let h = self
+        let h = &mut self
             .hosts
-            .get_mut(&host)
-            .ok_or_else(|| NetError::UnknownHost(format!("{host:?}")))?;
+            .get_mut(host.0 as usize)
+            .ok_or_else(|| NetError::UnknownHost(format!("{host:?}")))?
+            .host;
         let remote = h
             .connection_remote(conn)
             .ok_or(NetError::UnknownConnection(conn.0))?;
@@ -385,15 +416,15 @@ impl Simulator {
     /// flushed on establishment and evicted (with a note in the trace
     /// summary) when their connection closes or resets first.
     pub fn pending_send_buffers(&self) -> usize {
-        self.pending_sends.values().map(HashMap::len).sum()
+        self.hosts.iter().map(|slot| slot.pending.len()).sum()
     }
 
     fn path_latency(&self, from_medium: MediumId, to_medium: MediumId) -> Duration {
-        let from = self.media.get(&from_medium).map(|m| m.latency).unwrap_or(Duration::ZERO);
+        let from = self.medium(from_medium).map(|m| m.latency).unwrap_or(Duration::ZERO);
         if from_medium == to_medium {
             from
         } else {
-            let to = self.media.get(&to_medium).map(|m| m.latency).unwrap_or(Duration::ZERO);
+            let to = self.medium(to_medium).map(|m| m.latency).unwrap_or(Duration::ZERO);
             from.saturating_add(to)
         }
     }
@@ -401,8 +432,8 @@ impl Simulator {
     /// Draws the jitter for one traversal of the given media pair. With all
     /// jitter configured to zero (the default) this never touches the RNG.
     fn path_jitter(&mut self, from_medium: Option<MediumId>, to_medium: Option<MediumId>) -> Duration {
-        let jitter_of = |media: &BTreeMap<MediumId, Medium>, id: Option<MediumId>| {
-            id.and_then(|id| media.get(&id))
+        let jitter_of = |media: &[Medium], id: Option<MediumId>| {
+            id.and_then(|id| media.get(id.0 as usize))
                 .map(|m| m.jitter.as_micros())
                 .unwrap_or(0)
         };
@@ -417,12 +448,9 @@ impl Simulator {
         }
     }
 
-    /// Interned trace name for the host that owns `ip`, or (for addresses
-    /// outside the simulation) the textual address, interned on first use.
-    fn name_of_ip(&mut self, ip: IpAddr) -> NameId {
-        if let Some(id) = self.ip_index.get(&ip).and_then(|id| self.host_names.get(id)) {
-            return *id;
-        }
+    /// Interned trace name for an address outside the simulation: the textual
+    /// address, interned on first use.
+    fn foreign_name(&mut self, ip: IpAddr) -> NameId {
         if let Some(&id) = self.foreign_names.get(&ip) {
             return id;
         }
@@ -448,48 +476,59 @@ impl Simulator {
         }
     }
 
+    /// Moves a packet into the event pool and queues its delivery, assigning
+    /// the next global sequence number. Packets addressed outside the
+    /// simulation are dropped (they were already recorded).
+    fn enqueue(&mut self, dst: Option<HostId>, at: Instant, packet: Packet) {
+        if let Some(to) = dst {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let slot = self.pool.insert(EventBody { to, packet });
+            self.queue.push(EventKey { at, seq, slot });
+        }
+    }
+
     /// Schedules delivery of a packet emitted by `from`, notifying taps.
     fn transmit(&mut self, from: HostId, packet: Packet, injected: bool, extra_delay: Duration) {
         let now = self.clock.now();
-        let from_medium = self.hosts.get(&from).map(|h| h.medium());
+        let (from_medium, from_name) = match self.slot(from) {
+            Some(slot) => (Some(slot.medium), slot.name),
+            None => (None, self.unknown_name),
+        };
         let dst_host = self.ip_index.get(&packet.dst_ip).copied();
-        let to_medium = dst_host.and_then(|id| self.hosts.get(&id)).map(|h| h.medium());
+        let (to_medium, to_name) = match dst_host.and_then(|id| self.slot(id)) {
+            Some(slot) => (Some(slot.medium), Some(slot.name)),
+            None => (None, None),
+        };
+        let to_name = match to_name {
+            Some(name) => name,
+            None => self.foreign_name(packet.dst_ip),
+        };
 
         let latency = match (from_medium, to_medium) {
             (Some(a), Some(b)) => self.path_latency(a, b),
-            (Some(a), None) => self.media.get(&a).map(|m| m.latency).unwrap_or(Duration::ZERO),
+            (Some(a), None) => self.medium(a).map(|m| m.latency).unwrap_or(Duration::ZERO),
             _ => Duration::ZERO,
         };
-        let jitter = self.path_jitter(from_medium, to_medium);
+        let jitter = if self.any_jitter {
+            self.path_jitter(from_medium, to_medium)
+        } else {
+            Duration::ZERO
+        };
         let deliver_at = now + extra_delay + latency + jitter;
 
-        let from_name = self.host_names.get(&from).copied().unwrap_or(self.unknown_name);
-        let to_name = self.name_of_ip(packet.dst_ip);
         self.record(now + extra_delay, deliver_at, from_name, to_name, injected, &packet);
-
-        if let Some(to) = dst_host {
-            let seq = self.next_seq;
-            self.next_seq += 1;
-            self.queue.push(QueuedEvent {
-                at: deliver_at,
-                seq,
-                to,
-                packet: packet.clone(),
-            });
-        }
 
         // Attacker taps observe genuine traffic on observable media. Injected
         // packets are not re-observed, which both matches reality (the
-        // attacker knows its own traffic) and prevents feedback loops.
-        if !injected {
-            let mut pending_injections: Vec<(MediumId, Injection)> = Vec::new();
+        // attacker knows its own traffic) and prevents feedback loops. With no
+        // taps registered — the population-scale common case — the scan is
+        // skipped outright; otherwise requested injections collect into a
+        // reusable scratch buffer.
+        if !injected && !self.taps.is_empty() {
+            let mut pending_injections = std::mem::take(&mut self.injection_scratch);
             for entry in &mut self.taps {
-                let observable = self
-                    .media
-                    .get(&entry.medium)
-                    .map(|m| m.observable())
-                    .unwrap_or(false);
-                if !observable {
+                if !entry.observable {
                     continue;
                 }
                 let on_path =
@@ -501,9 +540,15 @@ impl Simulator {
                     pending_injections.push((entry.medium, injection));
                 }
             }
-            for (tap_medium, injection) in pending_injections {
+            // The observed packet queues first, then its injections, so
+            // sequence numbers match the pre-calendar-queue simulator exactly.
+            self.enqueue(dst_host, deliver_at, packet);
+            for (tap_medium, injection) in pending_injections.drain(..) {
                 self.schedule_injection(tap_medium, injection);
             }
+            self.injection_scratch = pending_injections;
+        } else {
+            self.enqueue(dst_host, deliver_at, packet);
         }
     }
 
@@ -512,28 +557,26 @@ impl Simulator {
     fn schedule_injection(&mut self, tap_medium: MediumId, injection: Injection) {
         let now = self.clock.now();
         let dst_host = self.ip_index.get(&injection.packet.dst_ip).copied();
-        let to_medium = dst_host
-            .and_then(|id| self.hosts.get(&id))
-            .map(|h| h.medium())
-            .unwrap_or(tap_medium);
+        let (to_medium, to_name) = match dst_host.and_then(|id| self.slot(id)) {
+            Some(slot) => (Some(slot.medium), Some(slot.name)),
+            None => (None, None),
+        };
+        let to_medium = to_medium.unwrap_or(tap_medium);
         let latency = self.path_latency(tap_medium, to_medium);
-        let jitter = self.path_jitter(Some(tap_medium), Some(to_medium));
+        let jitter = if self.any_jitter {
+            self.path_jitter(Some(tap_medium), Some(to_medium))
+        } else {
+            Duration::ZERO
+        };
         let deliver_at = now + injection.delay + latency + jitter;
 
-        let to_name = self.name_of_ip(injection.packet.dst_ip);
+        let to_name = match to_name {
+            Some(name) => name,
+            None => self.foreign_name(injection.packet.dst_ip),
+        };
         let attacker = self.attacker_name;
         self.record(now + injection.delay, deliver_at, attacker, to_name, true, &injection.packet);
-
-        if let Some(to) = dst_host {
-            let seq = self.next_seq;
-            self.next_seq += 1;
-            self.queue.push(QueuedEvent {
-                at: deliver_at,
-                seq,
-                to,
-                packet: injection.packet,
-            });
-        }
+        self.enqueue(dst_host, deliver_at, injection.packet);
     }
 
     /// Processes a single queued event. Returns `Ok(false)` if the queue is
@@ -556,91 +599,108 @@ impl Simulator {
                 budget: self.event_budget,
             });
         }
-        let event = self.queue.pop().expect("checked non-empty above");
+        let key = self.queue.pop().expect("checked non-empty above");
+        let EventBody { to, packet } = self.pool.take(key.slot);
         self.events_processed += 1;
-        self.clock.advance_to(event.at);
+        self.clock.advance_to(key.at);
 
-        let QueuedEvent { to, packet, .. } = event;
-        let Some(host) = self.hosts.get_mut(&to) else {
+        let index = to.0 as usize;
+        if index >= self.hosts.len() {
             return Ok(true);
-        };
-        let host_ip = host.ip();
-        let result = host.deliver(&packet);
+        }
+        let mut delivery = std::mem::take(&mut self.delivery_scratch);
+        let host_ip = self.hosts[index].host.ip();
+        self.hosts[index].host.deliver_into(&packet, &mut delivery);
 
         // Protocol responses (SYN-ACK, ACK, RST) go back to the packet source.
-        for seg in result.responses {
+        for seg in delivery.responses.drain(..) {
             let response = Packet::new(host_ip, packet.src_ip, seg);
             self.transmit(to, response, false, Duration::ZERO);
         }
 
         // Run the attached service for any connection with fresh data.
-        for conn in result.data_ready {
+        for conn in delivery.data_ready.drain(..) {
             self.run_service(to, conn);
         }
+        self.delivery_scratch = delivery;
 
         // Flush sends that were waiting for the handshake to finish, then
-        // evict buffers whose connection died before establishing.
-        self.flush_pending(to);
-        self.evict_dead_pending(to);
+        // evict buffers whose connection died before establishing. The slab's
+        // pending map makes the no-pending case — every event, in steady
+        // state — a single emptiness check.
+        if !self.hosts[index].pending.is_empty() {
+            self.flush_pending(to);
+            self.evict_dead_pending(to);
+        }
         Ok(true)
     }
 
     fn run_service(&mut self, host_id: HostId, conn: ConnId) {
-        // Collect the service's response chunks first, so no host borrow is
-        // held across the `transmit` calls below.
-        let (chunks, delay, remote, ip) = {
-            let Some(host) = self.hosts.get_mut(&host_id) else {
-                return;
-            };
-            if host.service_mut().is_none() {
-                return;
-            }
-            let data = host.read_new(conn);
-            if data.is_empty() {
-                return;
-            }
-            let (chunks, delay) = {
-                let service = host.service_mut().expect("checked above");
-                (service.on_data(conn, &data), service.processing_delay())
-            };
-            let Some(remote) = host.connection_remote(conn) else {
-                return;
-            };
-            (chunks, delay, remote, host.ip())
+        let index = host_id.0 as usize;
+        // The freshly arrived bytes travel as shared chunks in a
+        // simulator-owned scratch vector: no per-delivery reassembly buffer.
+        let mut chunks = std::mem::take(&mut self.chunk_scratch);
+        let mut responses = std::mem::take(&mut self.response_scratch);
+        chunks.clear();
+        responses.clear();
+        let restore = |sim: &mut Simulator, chunks: Vec<Bytes>, responses: Vec<Bytes>| {
+            sim.chunk_scratch = chunks;
+            sim.response_scratch = responses;
         };
-        for chunk in chunks {
-            let segments = {
-                let Some(host) = self.hosts.get_mut(&host_id) else {
-                    return;
-                };
-                match host.send_bytes(conn, chunk) {
-                    Ok(segments) => segments,
-                    Err(_) => return,
-                }
+        let (delay, remote, ip) = {
+            let Some(slot) = self.hosts.get_mut(index) else {
+                restore(self, chunks, responses);
+                return;
             };
-            for seg in segments {
+            if slot.host.service_mut().is_none() {
+                restore(self, chunks, responses);
+                return;
+            }
+            slot.host.read_new_bytes(conn, &mut chunks);
+            if chunks.is_empty() {
+                restore(self, chunks, responses);
+                return;
+            }
+            let delay = {
+                let service = slot.host.service_mut().expect("checked above");
+                service.on_data_into(conn, &chunks, &mut responses);
+                service.processing_delay()
+            };
+            let Some(remote) = slot.host.connection_remote(conn) else {
+                restore(self, chunks, responses);
+                return;
+            };
+            (delay, remote, slot.host.ip())
+        };
+        chunks.clear();
+        self.chunk_scratch = chunks;
+
+        let mut segments = std::mem::take(&mut self.segment_scratch);
+        for chunk in responses.drain(..) {
+            segments.clear();
+            if self.hosts[index].host.send_bytes_into(conn, chunk, &mut segments).is_err() {
+                break;
+            }
+            for seg in segments.drain(..) {
                 let pkt = Packet::new(ip, remote.ip, seg);
                 self.transmit(host_id, pkt, false, delay);
             }
         }
+        self.segment_scratch = segments;
+        responses.clear();
+        self.response_scratch = responses;
     }
 
     fn flush_pending(&mut self, host_id: HostId) {
-        let (Some(host), Some(conns)) = (self.hosts.get(&host_id), self.pending_sends.get(&host_id))
-        else {
-            return;
-        };
-        let ready: Vec<ConnId> = conns
-            .keys()
-            .filter(|c| host.is_established(**c))
-            .copied()
-            .collect();
-        for conn in ready {
-            let Some(chunks) = self
-                .pending_sends
-                .get_mut(&host_id)
-                .and_then(|conns| conns.remove(&conn))
-            else {
+        let index = host_id.0 as usize;
+        let mut ready = std::mem::take(&mut self.conn_scratch);
+        ready.clear();
+        let slot = &self.hosts[index];
+        ready.extend(slot.pending.keys().filter(|c| slot.host.is_established(**c)));
+        // Deterministic flush order regardless of hash-map iteration order.
+        ready.sort_unstable();
+        for &conn in &ready {
+            let Some(chunks) = self.hosts[index].pending.remove(&conn) else {
                 continue;
             };
             for chunk in chunks {
@@ -648,9 +708,8 @@ impl Simulator {
                 let _ = self.send_bytes(host_id, conn, chunk);
             }
         }
-        if self.pending_sends.get(&host_id).is_some_and(HashMap::is_empty) {
-            self.pending_sends.remove(&host_id);
-        }
+        ready.clear();
+        self.conn_scratch = ready;
     }
 
     /// Evicts pre-handshake send buffers whose connection on `host_id` was
@@ -658,34 +717,26 @@ impl Simulator {
     /// never leak its buffered data for the simulator's lifetime. The dropped
     /// volume is surfaced in the trace summary.
     fn evict_dead_pending(&mut self, host_id: HostId) {
-        let (Some(host), Some(conns)) = (self.hosts.get(&host_id), self.pending_sends.get(&host_id))
-        else {
-            return;
-        };
-        let dead: Vec<ConnId> = conns
-            .keys()
-            .filter(|c| {
-                matches!(
-                    host.connection_state(**c),
-                    None | Some(TcpState::Closed) | Some(TcpState::Reset)
-                )
-            })
-            .copied()
-            .collect();
-        for conn in dead {
-            if let Some(chunks) = self
-                .pending_sends
-                .get_mut(&host_id)
-                .and_then(|conns| conns.remove(&conn))
-            {
+        let index = host_id.0 as usize;
+        let mut dead = std::mem::take(&mut self.conn_scratch);
+        dead.clear();
+        let slot = &self.hosts[index];
+        dead.extend(slot.pending.keys().filter(|c| {
+            matches!(
+                slot.host.connection_state(**c),
+                None | Some(TcpState::Closed) | Some(TcpState::Reset)
+            )
+        }));
+        dead.sort_unstable();
+        for &conn in &dead {
+            if let Some(chunks) = self.hosts[index].pending.remove(&conn) {
                 let bytes: usize = chunks.iter().map(Bytes::len).sum();
                 self.trace
                     .note_dropped_pending(chunks.len() as u64, bytes as u64);
             }
         }
-        if self.pending_sends.get(&host_id).is_some_and(HashMap::is_empty) {
-            self.pending_sends.remove(&host_id);
-        }
+        dead.clear();
+        self.conn_scratch = dead;
     }
 
     /// Runs the simulation until no events remain.
@@ -707,8 +758,8 @@ impl Simulator {
     /// Returns [`NetError::EventBudgetExhausted`] if the event budget runs out
     /// first.
     pub fn run_until(&mut self, deadline: Instant) -> Result<(), NetError> {
-        while let Some(event) = self.queue.peek() {
-            if event.at > deadline {
+        while let Some(at) = self.queue.peek_at() {
+            if at > deadline {
                 break;
             }
             self.step()?;
@@ -753,8 +804,12 @@ impl FixedResponder {
 }
 
 impl Service for FixedResponder {
-    fn on_data(&mut self, _conn: ConnId, _data: &[u8]) -> Vec<Bytes> {
+    fn on_data(&mut self, _conn: ConnId, _data: &[Bytes]) -> Vec<Bytes> {
         vec![self.response.clone()]
+    }
+
+    fn on_data_into(&mut self, _conn: ConnId, _data: &[Bytes], out: &mut Vec<Bytes>) {
+        out.push(self.response.clone());
     }
 
     fn processing_delay(&self) -> Duration {

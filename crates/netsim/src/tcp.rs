@@ -76,6 +76,12 @@ pub struct Reassembler {
     assembled: Vec<u8>,
     /// Out-of-order byte ranges, keyed by stream offset.
     pending: BTreeMap<u64, Vec<u8>>,
+    /// Zero-copy chunks of freshly contiguous bytes, recorded by
+    /// [`Reassembler::offer_bytes`] when chunk tracking is on and consumed by
+    /// [`TcpConnection::take_new_bytes`]. Covers `fresh_bytes` bytes.
+    fresh: Vec<Bytes>,
+    /// Total bytes across `fresh`.
+    fresh_bytes: u64,
 }
 
 impl Reassembler {
@@ -89,6 +95,51 @@ impl Reassembler {
         self.assembled.len() as u64
     }
 
+    /// [`Reassembler::offer`] for a shared buffer, optionally recording the
+    /// newly contiguous bytes as zero-copy chunks for
+    /// [`TcpConnection::take_new_bytes`]. In the common in-order case the
+    /// recorded chunk is a slice of `data` itself — no byte is copied twice.
+    pub fn offer_bytes(&mut self, offset: u64, data: &Bytes, track_chunks: bool) -> usize {
+        let before = self.assembled_len();
+        let had_pending = !self.pending.is_empty();
+        let fresh = self.offer(offset, data);
+        if track_chunks {
+            let after = self.assembled_len();
+            if after > before {
+                let chunk = if had_pending {
+                    // Rare path: previously buffered out-of-order ranges
+                    // contributed (first segment wins), so the contiguous
+                    // growth is not a pure slice of `data`.
+                    Bytes::copy_from_slice(&self.assembled[before as usize..after as usize])
+                } else {
+                    // All growth came from this segment, contiguously from
+                    // `before`: share the arriving buffer.
+                    data.slice((before - offset) as usize..(after - offset) as usize)
+                };
+                self.fresh_bytes += chunk.len() as u64;
+                self.fresh.push(chunk);
+            }
+        }
+        fresh
+    }
+
+    /// Total bytes covered by recorded-but-unconsumed fresh chunks.
+    pub(crate) fn fresh_len(&self) -> u64 {
+        self.fresh_bytes
+    }
+
+    /// Moves the recorded fresh chunks into `out`.
+    pub(crate) fn take_fresh(&mut self, out: &mut Vec<Bytes>) {
+        out.append(&mut self.fresh);
+        self.fresh_bytes = 0;
+    }
+
+    /// Discards the recorded fresh chunks (releasing their shared buffers).
+    pub(crate) fn clear_fresh(&mut self) {
+        self.fresh.clear();
+        self.fresh_bytes = 0;
+    }
+
     /// Offers bytes starting at `offset` (relative to the initial sequence
     /// number). Returns the number of *fresh* bytes that had not been covered
     /// by earlier segments.
@@ -96,11 +147,25 @@ impl Reassembler {
         if data.is_empty() {
             return 0;
         }
-        let mut fresh = 0usize;
         let end = offset + data.len() as u64;
+        let assembled_len = self.assembled_len();
 
+        // In-order fast path (the overwhelmingly common case): no buffered
+        // out-of-order ranges and the segment touches the contiguous prefix,
+        // so the new tail extends `assembled` directly — no range buffer is
+        // allocated and every byte is copied exactly once.
+        if self.pending.is_empty() && offset <= assembled_len {
+            if end <= assembled_len {
+                return 0;
+            }
+            let tail = &data[(assembled_len - offset) as usize..];
+            self.assembled.extend_from_slice(tail);
+            return tail.len();
+        }
+
+        let mut fresh = 0usize;
         // Portion that extends the contiguous prefix or fills later gaps.
-        let mut cursor = offset.max(self.assembled_len());
+        let mut cursor = offset.max(assembled_len);
         while cursor < end {
             // Skip ranges already buffered out-of-order (first segment wins).
             if let Some((&pstart, pdata)) = self.pending.range(..=cursor).next_back() {
@@ -176,6 +241,11 @@ pub struct TcpConnection {
     reassembler: Reassembler,
     /// Bytes already handed to the application.
     delivered: usize,
+    /// Whether freshly contiguous bytes are recorded as zero-copy chunks for
+    /// [`TcpConnection::take_new_bytes`]. Off by default so endpoints nobody
+    /// reads incrementally (e.g. clients without a service) retain no shared
+    /// payload handles.
+    deliver_chunks: bool,
 }
 
 impl TcpConnection {
@@ -194,6 +264,7 @@ impl TcpConnection {
             mss: DEFAULT_MSS,
             reassembler: Reassembler::new(),
             delivered: 0,
+            deliver_chunks: false,
         }
     }
 
@@ -214,6 +285,7 @@ impl TcpConnection {
             mss: DEFAULT_MSS,
             reassembler: Reassembler::new(),
             delivered: 0,
+            deliver_chunks: false,
         };
         (conn, syn)
     }
@@ -256,6 +328,19 @@ impl TcpConnection {
         self.mss = mss;
     }
 
+    /// Enables or disables zero-copy chunk recording for
+    /// [`TcpConnection::take_new_bytes`]. [`Host::deliver`] switches it on for
+    /// hosts with an attached service; leaving it off keeps endpoints nobody
+    /// reads incrementally from holding shared payload buffers alive.
+    ///
+    /// [`Host::deliver`]: crate::endpoint::Host::deliver
+    pub fn set_chunk_delivery(&mut self, enabled: bool) {
+        self.deliver_chunks = enabled;
+        if !enabled {
+            self.reassembler.clear_fresh();
+        }
+    }
+
     /// Returns `true` once the three-way handshake has completed.
     pub fn is_established(&self) -> bool {
         matches!(
@@ -283,12 +368,24 @@ impl TcpConnection {
     /// Returns [`NetError::InvalidState`] if the connection is not
     /// established.
     pub fn send_bytes(&mut self, data: Bytes) -> Result<Vec<Segment>, NetError> {
+        let mut segments = Vec::with_capacity(data.len().div_ceil(self.mss).max(1));
+        self.send_bytes_into(data, &mut segments)?;
+        Ok(segments)
+    }
+
+    /// [`TcpConnection::send_bytes`] into a caller-owned buffer, so the hot
+    /// service path can reuse one segment scratch vector across sends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidState`] if the connection is not
+    /// established (nothing is appended to `out`).
+    pub fn send_bytes_into(&mut self, data: Bytes, out: &mut Vec<Segment>) -> Result<(), NetError> {
         if !self.is_established() {
             return Err(NetError::InvalidState {
                 reason: format!("cannot send in state {:?}", self.state),
             });
         }
-        let mut segments = Vec::with_capacity(data.len().div_ceil(self.mss).max(1));
         let mut offset = 0usize;
         while offset < data.len() {
             let end = (offset + self.mss).min(data.len());
@@ -302,10 +399,10 @@ impl TcpConnection {
                 chunk,
             );
             self.snd_nxt = self.snd_nxt + len;
-            segments.push(seg);
+            out.push(seg);
             offset = end;
         }
-        Ok(segments)
+        Ok(())
     }
 
     /// Initiates connection teardown, returning the FIN segment.
@@ -334,16 +431,30 @@ impl TcpConnection {
     /// Processes an incoming segment from `peer`, returning any segments to
     /// send in response plus a record of what happened to the payload.
     pub fn on_segment(&mut self, peer: SocketAddr, seg: &Segment) -> (Vec<Segment>, AcceptOutcome) {
+        let mut responses = Vec::new();
+        let outcome = self.on_segment_into(peer, seg, &mut responses);
+        (responses, outcome)
+    }
+
+    /// [`TcpConnection::on_segment`] appending responses to a caller-owned
+    /// buffer, so the simulator's event loop reuses one segment vector across
+    /// deliveries instead of allocating per event.
+    pub fn on_segment_into(
+        &mut self,
+        peer: SocketAddr,
+        seg: &Segment,
+        responses: &mut Vec<Segment>,
+    ) -> AcceptOutcome {
         if seg.flags.rst {
             if self.state != TcpState::Listen && self.state != TcpState::Closed {
                 self.state = TcpState::Reset;
             }
-            return (Vec::new(), AcceptOutcome::ResetReceived);
+            return AcceptOutcome::ResetReceived;
         }
 
         match self.state {
-            TcpState::Listen => self.on_segment_listen(peer, seg),
-            TcpState::SynSent => self.on_segment_syn_sent(seg),
+            TcpState::Listen => self.on_segment_listen(peer, seg, responses),
+            TcpState::SynSent => self.on_segment_syn_sent(seg, responses),
             TcpState::SynReceived => {
                 if seg.flags.ack {
                     self.state = TcpState::Established;
@@ -351,64 +462,71 @@ impl TcpConnection {
                 }
                 // The ACK completing the handshake may already carry data.
                 if !seg.payload.is_empty() {
-                    self.on_data(seg)
+                    self.on_data(seg, responses)
                 } else {
-                    (Vec::new(), AcceptOutcome::NoData)
+                    AcceptOutcome::NoData
                 }
             }
-            TcpState::Established | TcpState::FinWait | TcpState::CloseWait => self.on_data(seg),
+            TcpState::Established | TcpState::FinWait | TcpState::CloseWait => {
+                self.on_data(seg, responses)
+            }
             TcpState::Closed | TcpState::Reset => {
                 // A closed endpoint answers with RST.
-                let rst = Segment::control(
+                responses.push(Segment::control(
                     self.local.port,
                     peer.port,
                     seg.ack,
                     seg.seq_end(),
                     TcpFlags::RST,
-                );
-                (vec![rst], AcceptOutcome::NoData)
+                ));
+                AcceptOutcome::NoData
             }
         }
     }
 
-    fn on_segment_listen(&mut self, peer: SocketAddr, seg: &Segment) -> (Vec<Segment>, AcceptOutcome) {
+    fn on_segment_listen(
+        &mut self,
+        peer: SocketAddr,
+        seg: &Segment,
+        responses: &mut Vec<Segment>,
+    ) -> AcceptOutcome {
         if !seg.flags.syn {
-            return (Vec::new(), AcceptOutcome::NoData);
+            return AcceptOutcome::NoData;
         }
         self.remote = peer;
         self.irs = seg.seq;
         self.rcv_nxt = seg.seq + 1;
         self.state = TcpState::SynReceived;
-        let syn_ack = Segment::control(
+        responses.push(Segment::control(
             self.local.port,
             peer.port,
             self.iss,
             self.rcv_nxt,
             TcpFlags::SYN_ACK,
-        );
+        ));
         self.snd_nxt = self.iss + 1;
-        (vec![syn_ack], AcceptOutcome::NoData)
+        AcceptOutcome::NoData
     }
 
-    fn on_segment_syn_sent(&mut self, seg: &Segment) -> (Vec<Segment>, AcceptOutcome) {
+    fn on_segment_syn_sent(&mut self, seg: &Segment, responses: &mut Vec<Segment>) -> AcceptOutcome {
         if !(seg.flags.syn && seg.flags.ack) {
-            return (Vec::new(), AcceptOutcome::NoData);
+            return AcceptOutcome::NoData;
         }
         self.irs = seg.seq;
         self.rcv_nxt = seg.seq + 1;
         self.snd_una = seg.ack;
         self.state = TcpState::Established;
-        let ack = Segment::control(
+        responses.push(Segment::control(
             self.local.port,
             self.remote.port,
             self.snd_nxt,
             self.rcv_nxt,
             TcpFlags::ACK,
-        );
-        (vec![ack], AcceptOutcome::NoData)
+        ));
+        AcceptOutcome::NoData
     }
 
-    fn on_data(&mut self, seg: &Segment) -> (Vec<Segment>, AcceptOutcome) {
+    fn on_data(&mut self, seg: &Segment, responses: &mut Vec<Segment>) -> AcceptOutcome {
         if seg.flags.ack {
             self.snd_una = seg.ack;
         }
@@ -427,12 +545,14 @@ impl TcpConnection {
                 let in_window = seg.seq.in_window(window_start, self.rcv_wnd)
                     || window_start.in_window(seg.seq, payload_len);
                 if !in_window {
-                    return (Vec::new(), AcceptOutcome::OutOfWindow);
+                    return AcceptOutcome::OutOfWindow;
                 }
                 let offset = self.irs.distance_to(seg.seq) as u64;
                 // Offset 0 is the SYN; payload starts at stream offset (offset - 1).
                 let stream_offset = offset.saturating_sub(1);
-                let fresh = self.reassembler.offer(stream_offset, &seg.payload);
+                let fresh =
+                    self.reassembler
+                        .offer_bytes(stream_offset, &seg.payload, self.deliver_chunks);
                 outcome = if fresh > 0 {
                     AcceptOutcome::Accepted { fresh_bytes: fresh }
                 } else {
@@ -442,7 +562,6 @@ impl TcpConnection {
             }
         }
 
-        let mut responses = Vec::new();
         if seg.flags.fin {
             self.rcv_nxt = self.rcv_nxt + 1;
             if self.state == TcpState::Established {
@@ -460,15 +579,39 @@ impl TcpConnection {
                 TcpFlags::ACK,
             ));
         }
-        (responses, outcome)
+        outcome
     }
 
     /// Returns application data that has become available since the last call.
     pub fn read_new(&mut self) -> Vec<u8> {
+        self.reassembler.clear_fresh();
         let assembled = self.reassembler.assembled();
         let new = assembled[self.delivered..].to_vec();
         self.delivered = assembled.len();
         new
+    }
+
+    /// [`TcpConnection::read_new`] without the copy: appends the bytes that
+    /// became available since the last read to `out` as shared [`Bytes`]
+    /// chunks. With chunk delivery enabled
+    /// ([`TcpConnection::set_chunk_delivery`]) the chunks are zero-copy slices
+    /// of the arriving segments; otherwise (or after mixing in plain
+    /// [`TcpConnection::read_new`] calls) one copied chunk is produced.
+    pub fn take_new_bytes(&mut self, out: &mut Vec<Bytes>) {
+        let len = self.reassembler.assembled().len();
+        if self.delivered >= len {
+            self.reassembler.clear_fresh();
+            return;
+        }
+        if self.reassembler.fresh_len() == (len - self.delivered) as u64 {
+            self.reassembler.take_fresh(out);
+        } else {
+            self.reassembler.clear_fresh();
+            out.push(Bytes::copy_from_slice(
+                &self.reassembler.assembled()[self.delivered..],
+            ));
+        }
+        self.delivered = len;
     }
 
     /// Returns the entire contiguous byte stream received so far.
@@ -614,6 +757,78 @@ mod tests {
         let (mut client, _syn) = TcpConnection::connect(client_addr, server_addr, SeqNum::new(1));
         let err = client.send(b"early").unwrap_err();
         assert!(matches!(err, NetError::InvalidState { .. }));
+    }
+
+    #[test]
+    fn take_new_bytes_hands_over_zero_copy_chunks() {
+        let (mut client, mut server) = handshake();
+        let (client_addr, _) = addrs();
+        server.set_chunk_delivery(true);
+        let segments = client.send(b"GET /my.js HTTP/1.1\r\n\r\n").unwrap();
+        for seg in &segments {
+            server.on_segment(client_addr, seg);
+        }
+        let mut chunks = Vec::new();
+        server.take_new_bytes(&mut chunks);
+        let stitched: Vec<u8> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+        assert_eq!(stitched, b"GET /my.js HTTP/1.1\r\n\r\n");
+        // Nothing new: a second take yields nothing.
+        chunks.clear();
+        server.take_new_bytes(&mut chunks);
+        assert!(chunks.is_empty());
+        // The bytes counted as delivered, so read_new sees nothing either.
+        assert!(server.read_new().is_empty());
+    }
+
+    #[test]
+    fn take_new_bytes_falls_back_to_a_copy_without_chunk_tracking() {
+        let (mut client, mut server) = handshake();
+        let (client_addr, _) = addrs();
+        // Tracking off (the default): delivery still works, via one copied
+        // chunk.
+        let segments = client.send(b"hello world").unwrap();
+        for seg in &segments {
+            server.on_segment(client_addr, seg);
+        }
+        let mut chunks = Vec::new();
+        server.take_new_bytes(&mut chunks);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(&chunks[0][..], b"hello world");
+    }
+
+    #[test]
+    fn chunk_tracking_interoperates_with_read_new() {
+        let (mut client, mut server) = handshake();
+        let (client_addr, _) = addrs();
+        server.set_chunk_delivery(true);
+        for seg in &client.send(b"first").unwrap() {
+            server.on_segment(client_addr, seg);
+        }
+        assert_eq!(server.read_new(), b"first".to_vec());
+        for seg in &client.send(b"second").unwrap() {
+            server.on_segment(client_addr, seg);
+        }
+        let mut chunks = Vec::new();
+        server.take_new_bytes(&mut chunks);
+        let stitched: Vec<u8> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+        assert_eq!(stitched, b"second");
+        assert_eq!(server.received(), b"firstsecond");
+    }
+
+    #[test]
+    fn out_of_order_chunks_are_stitched_correctly() {
+        let (client, mut server) = handshake();
+        let (client_addr, _) = addrs();
+        server.set_chunk_delivery(true);
+        let seq = client.send_next();
+        let part2 = Segment::data(51000, 80, seq + 5, server.send_next(), &b"world"[..]);
+        let part1 = Segment::data(51000, 80, seq, server.send_next(), &b"hello"[..]);
+        server.on_segment(client_addr, &part2);
+        server.on_segment(client_addr, &part1);
+        let mut chunks = Vec::new();
+        server.take_new_bytes(&mut chunks);
+        let stitched: Vec<u8> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+        assert_eq!(stitched, b"helloworld");
     }
 
     #[test]

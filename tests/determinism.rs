@@ -1,0 +1,121 @@
+//! Determinism contract of the simulator and the batch engine.
+//!
+//! The data-structure refactors behind the hot path (slab hosts, calendar
+//! event queue, the copy-free service path) are only acceptable if they
+//! preserve the old-order contract: same seed, same configuration ⇒ the full
+//! `Trace` render and the `TraceSummary` are byte-for-byte identical, run
+//! after run — with and without medium jitter — and a `run_many` sweep
+//! produces the same artifacts at `--jobs 1` as on a thread pool.
+
+use master_parasite::netsim::addr::IpAddr;
+use master_parasite::netsim::attacker::{Injector, ResponseInjector};
+use master_parasite::netsim::capture::TraceSummary;
+use master_parasite::netsim::link::MediumKind;
+use master_parasite::netsim::sim::{FixedResponder, Simulator};
+use master_parasite::netsim::time::Duration;
+use parasite::experiments::{run_many, ExperimentId, RunConfig};
+use parasite::json::ToJson;
+
+/// The representative scenario: a café access point (shared WiFi) with the
+/// master's tap on it, the genuine server across the WAN, and a handful of
+/// victims — most requesting the object the master races for, some an
+/// unprepared one. Returns the rendered full trace and the summary counters.
+fn cafe_run(seed: u64, jitter_us: u64) -> (String, TraceSummary) {
+    let mut sim = Simulator::new(seed);
+    let wifi = sim.add_medium(MediumKind::SharedWireless, 2_000);
+    let wan = sim.add_medium(MediumKind::WideArea, 40_000);
+    if jitter_us > 0 {
+        sim.set_medium_jitter(wifi, Duration::from_micros(jitter_us));
+        sim.set_medium_jitter(wan, Duration::from_micros(jitter_us * 4));
+    }
+    let server = sim.add_host("server", IpAddr::new(203, 0, 113, 10), wan);
+    sim.listen(server, 80);
+    sim.set_service(
+        server,
+        Box::new(FixedResponder::new(
+            &b"HTTP/1.1 200 OK\r\n\r\ngenuine-script();"[..],
+            Duration::from_micros(500),
+        )),
+    );
+    let tap = ResponseInjector::new(
+        "master",
+        Injector::default(),
+        |payload| payload.starts_with(b"GET /my.js"),
+        |_req| b"HTTP/1.1 200 OK\r\n\r\nparasite();".to_vec(),
+    );
+    sim.add_tap(wifi, Box::new(tap));
+
+    for index in 0..8u8 {
+        let name = format!("victim{index}");
+        let client = sim.add_host(&name, IpAddr::new(10, 0, 0, 10 + index), wifi);
+        let conn = sim.connect(client, server, 80).expect("hosts exist");
+        let request: &[u8] = if index % 3 == 0 {
+            b"GET /weather.js HTTP/1.1\r\nHost: somesite.com\r\n\r\n"
+        } else {
+            b"GET /my.js HTTP/1.1\r\nHost: somesite.com\r\n\r\n"
+        };
+        sim.send(client, conn, request).expect("connection exists");
+    }
+    sim.run_until_idle().expect("scenario stays within the event budget");
+    (sim.trace().render(), *sim.trace().summary())
+}
+
+#[test]
+fn cafe_trace_is_byte_identical_across_runs_without_jitter() {
+    let (first_render, first_summary) = cafe_run(2021, 0);
+    let (second_render, second_summary) = cafe_run(2021, 0);
+    assert_eq!(first_render, second_render);
+    assert_eq!(first_summary, second_summary);
+    // The scenario is the paper's: the tap wins races for the prepared object.
+    assert!(first_render.contains("[ATTACK]"));
+    assert!(first_summary.injected_events > 0);
+    assert!(first_summary.payload_events > 0);
+}
+
+#[test]
+fn cafe_trace_is_byte_identical_across_runs_with_jitter() {
+    let (first_render, first_summary) = cafe_run(2021, 300);
+    let (second_render, second_summary) = cafe_run(2021, 300);
+    assert_eq!(first_render, second_render, "same seed + jitter must replay exactly");
+    assert_eq!(first_summary, second_summary);
+    // A different seed draws different jitter, so the timeline moves.
+    let (other_render, _) = cafe_run(2022, 300);
+    assert_ne!(first_render, other_render);
+    // Jitter only shifts timings; the message complement is unchanged.
+    let (calm_render, calm_summary) = cafe_run(2021, 0);
+    assert_eq!(first_summary.total_events, calm_summary.total_events);
+    assert_ne!(first_render, calm_render);
+}
+
+#[test]
+fn run_many_parallel_matches_jobs_one_for_flows_and_fleet() {
+    let ids = [ExperimentId::Fig2, ExperimentId::CampaignFleet];
+    let configs = [
+        RunConfig {
+            fleet_clients: 800,
+            fleet_aps: 8,
+            fleet_jobs: 1,
+            ..RunConfig::default()
+        },
+        RunConfig {
+            fleet_clients: 800,
+            fleet_aps: 8,
+            fleet_shards: 4,
+            jitter_us: 250,
+            fleet_jobs: 1,
+            ..RunConfig::default()
+        },
+    ];
+    let sequential = run_many(&ids, &configs, 1);
+    let parallel = run_many(&ids, &configs, 4);
+    assert_eq!(sequential.len(), 4);
+    assert_eq!(sequential, parallel);
+    for (a, b) in sequential.iter().zip(&parallel) {
+        // Byte-for-byte equal down to the rendered text and the JSON wire
+        // form, not just structural equality.
+        assert_eq!(a.render_text(), b.render_text());
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+    }
+    // The Figure 2 flow retains its exact timeline (full trace render).
+    assert!(sequential[0].render_text().contains("[ATTACK]"));
+}

@@ -171,6 +171,7 @@ proptest! {
         jitter_us in 0u64..1_000_000,
         fleet_clients in 0usize..1_000_000,
         fleet_aps in 1usize..10_000,
+        fleet_shards in 1usize..64,
         fleet_jobs in 0usize..64,
     ) {
         let trace_mode = match trace_mode_pick {
@@ -180,7 +181,7 @@ proptest! {
         };
         let config = RunConfig {
             seed, scale, sites, crawl_sites, days, event_budget,
-            trace_mode, jitter_us, fleet_clients, fleet_aps, fleet_jobs,
+            trace_mode, jitter_us, fleet_clients, fleet_aps, fleet_shards, fleet_jobs,
         };
         let text = config.to_json().to_string();
         let parsed = Json::parse(&text).expect("config JSON parses");
