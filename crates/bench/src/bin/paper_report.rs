@@ -8,7 +8,10 @@
 //! ```
 
 use mp_bench::{render_report, report_json, try_run_selected};
-use parasite::experiments::{ExperimentId, RunConfig};
+use parasite::experiments::{
+    run_campaign_with_checkpoint, Artifact, ArtifactData, ExperimentId, RunConfig,
+};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -37,6 +40,24 @@ OPTIONS:
                           across (merged into one artifact) [default: 1]
     --fleet-jobs <n>      campaign_fleet: worker threads for the per-AP sims
                           (0 = auto-size to the machine) [default: 0]
+    --fleet-days <n>      campaign_fleet: simulated days; above 1 the fleet
+                          runs the multi-day churn loop (arrivals/departures,
+                          cache clears, Figure 3 target-object rotation, with
+                          infections carried forward) [default: 1]
+    --fleet-churn <f>     campaign_fleet: daily client-turnover fraction in
+                          [0, 1] for the multi-day loop [default: 0]
+    --fleet-hetero        campaign_fleet: draw per-AP latency/jitter/attacker
+                          reaction and client weights from seeded
+                          distributions instead of the uniform paper timing
+    --fleet-checkpoint <path>
+                          write a resumable JSON checkpoint after every
+                          completed campaign day; if <path> exists the
+                          campaign resumes from it (byte-identical to an
+                          uninterrupted run). Requires exactly
+                          --only campaign_fleet and --fleet-days >= 2
+    --global-event-budget <n>
+                          one event pool shared by every simulator of the run
+                          (all APs, shards and days); 0 disables [default: 0]
     --jobs <n>            worker threads for independent experiments [default: 1]
     --json                emit one structured JSON document instead of text
     --list                list the experiment ids and titles, then exit
@@ -48,6 +69,7 @@ struct Options {
     config: RunConfig,
     jobs: usize,
     json: bool,
+    checkpoint: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
@@ -55,6 +77,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut config = RunConfig::default();
     let mut jobs = 1usize;
     let mut json = false;
+    let mut checkpoint: Option<PathBuf> = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -129,6 +152,31 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     usize::try_from(parse_number(&value_for("--fleet-jobs")?, "--fleet-jobs")?)
                         .map_err(|_| "--fleet-jobs is out of range".to_string())?;
             }
+            "--fleet-days" => {
+                config.fleet_days =
+                    u32::try_from(parse_number(&value_for("--fleet-days")?, "--fleet-days")?)
+                        .map_err(|_| "--fleet-days is out of range".to_string())?;
+                if config.fleet_days == 0 {
+                    return Err("--fleet-days must be at least 1".to_string());
+                }
+            }
+            "--fleet-churn" => {
+                let text = value_for("--fleet-churn")?;
+                config.fleet_churn = text
+                    .parse::<f64>()
+                    .map_err(|_| format!("--fleet-churn: expected a fraction, got {text:?}"))?;
+                if !(0.0..=1.0).contains(&config.fleet_churn) {
+                    return Err("--fleet-churn must be in [0, 1]".to_string());
+                }
+            }
+            "--fleet-hetero" => config.fleet_hetero = true,
+            "--fleet-checkpoint" => {
+                checkpoint = Some(PathBuf::from(value_for("--fleet-checkpoint")?));
+            }
+            "--global-event-budget" => {
+                config.global_event_budget =
+                    parse_number(&value_for("--global-event-budget")?, "--global-event-budget")?;
+            }
             "--jobs" => {
                 jobs = parse_number(&value_for("--jobs")?, "--jobs")? as usize;
                 if jobs == 0 {
@@ -158,7 +206,27 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     } else {
         ExperimentId::EXTENDED.into_iter().filter(|id| ids.contains(id)).collect()
     };
-    Ok(Some(Options { ids, config, jobs, json }))
+    if checkpoint.is_some() {
+        // A checkpointed campaign is a dedicated operation: it must not
+        // silently switch a single-snapshot run onto the churn model, and it
+        // must not run beside a batch sweep (which would get its own global
+        // budget pool).
+        if ids != [ExperimentId::CampaignFleet] {
+            return Err(
+                "--fleet-checkpoint runs the campaign alone; use exactly \
+                 --only campaign_fleet"
+                    .to_string(),
+            );
+        }
+        if config.fleet_days < 2 {
+            return Err(
+                "--fleet-checkpoint requires a multi-day campaign; \
+                 set --fleet-days to 2 or more"
+                    .to_string(),
+            );
+        }
+    }
+    Ok(Some(Options { ids, config, jobs, json, checkpoint }))
 }
 
 fn parse_number(text: &str, flag: &str) -> Result<u64, String> {
@@ -178,10 +246,25 @@ fn main() -> ExitCode {
         }
     };
 
-    let results = try_run_selected(&options.ids, &options.config, options.jobs);
+    // With a checkpoint path, the (sole, validated by parse_args) campaign
+    // fleet id runs through the checkpointing entry point (write-per-day +
+    // resume) instead of the batch runner.
+    let (result_ids, results) = if let Some(path) = options.checkpoint.as_deref() {
+        let result = run_campaign_with_checkpoint(&options.config, path).map(|result| Artifact {
+            id: ExperimentId::CampaignFleet,
+            config: options.config,
+            data: ArtifactData::CampaignFleet(result),
+        });
+        (vec![ExperimentId::CampaignFleet], vec![result])
+    } else {
+        (
+            options.ids.clone(),
+            try_run_selected(&options.ids, &options.config, options.jobs),
+        )
+    };
     let mut artifacts = Vec::new();
     let mut failed = false;
-    for (id, result) in options.ids.iter().zip(results) {
+    for (id, result) in result_ids.iter().zip(results) {
         match result {
             Ok(artifact) => artifacts.push(artifact),
             Err(error) => {

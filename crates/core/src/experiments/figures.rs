@@ -1,6 +1,6 @@
 //! Figure 1–5 and §VIII ablation runners and their result types.
 
-use super::{ExperimentError, RunConfig, MASTER_HOST};
+use super::{ExperimentError, RunConfig, RunCtx, MASTER_HOST};
 use crate::cnc::{downstream_goodput_bytes_per_sec, CncServer, Command};
 use crate::defense::{ablation_matrix, AblationRow, AttackStage};
 use crate::eviction::{junk_origin, EvictionAttack};
@@ -47,7 +47,10 @@ impl ToJson for FlowTrace {
 }
 
 /// Regenerates the Figure 1 cache-eviction flow from a browser-level run.
-pub(super) fn fig1_eviction_flow(_config: &RunConfig) -> Result<FlowTrace, ExperimentError> {
+pub(super) fn fig1_eviction_flow(
+    _config: &RunConfig,
+    _ctx: &RunCtx,
+) -> Result<FlowTrace, ExperimentError> {
     let mut victim_site = StaticOrigin::new("any.com");
     victim_site.put_text("/index.html", ResourceKind::Html, "<html><body>any</body></html>", "no-cache");
     let mut popular = StaticOrigin::new("popular.com");
@@ -97,13 +100,18 @@ pub(super) fn fig1_eviction_flow(_config: &RunConfig) -> Result<FlowTrace, Exper
 /// (the same race world Table II evaluates, read through its packet trace).
 /// The flow needs the actual events, so this experiment always records a full
 /// trace regardless of `config.trace_mode`.
-pub(super) fn fig2_infection_flow(config: &RunConfig) -> Result<FlowTrace, ExperimentError> {
+pub(super) fn fig2_infection_flow(
+    config: &RunConfig,
+    ctx: &RunCtx,
+) -> Result<FlowTrace, ExperimentError> {
+    let shared = ctx.budget_for(config);
     let race = super::tables::run_race_simulation(
         config.seed,
         300,
         40_000,
         config.event_budget,
         mp_netsim::capture::TraceMode::Full,
+        shared.as_ref(),
     )?;
     let trace = race.sim.trace();
     let mut steps: Vec<String> = trace
@@ -174,7 +182,10 @@ impl ToJson for Fig3Result {
 
 /// Runs the Figure 3 persistency crawl over a generated population of
 /// `config.crawl_sites` sites for `config.days` days.
-pub(super) fn fig3_persistency(config: &RunConfig) -> Result<Fig3Result, ExperimentError> {
+pub(super) fn fig3_persistency(
+    config: &RunConfig,
+    _ctx: &RunCtx,
+) -> Result<Fig3Result, ExperimentError> {
     let population = Population::generate(PopulationConfig::small(config.crawl_sites, config.seed));
     let series = Crawler::new(population).run(config.days);
     Ok(Fig3Result { series })
@@ -235,7 +246,10 @@ impl ToJson for Fig4Result {
 }
 
 /// Runs the Figure 4 C&C channel experiment.
-pub(super) fn fig4_cnc_channel(_config: &RunConfig) -> Result<Fig4Result, ExperimentError> {
+pub(super) fn fig4_cnc_channel(
+    _config: &RunConfig,
+    _ctx: &RunCtx,
+) -> Result<Fig4Result, ExperimentError> {
     let goodput_curve = [1u32, 5, 10, 25, 50]
         .into_iter()
         .map(|parallel| (parallel, downstream_goodput_bytes_per_sec(parallel, 1.0)))
@@ -365,7 +379,10 @@ impl ToJson for Fig5Result {
 
 /// Runs the Figure 5 policy scan over a generated population of
 /// `config.sites` sites.
-pub(super) fn fig5_csp_stats(config: &RunConfig) -> Result<Fig5Result, ExperimentError> {
+pub(super) fn fig5_csp_stats(
+    config: &RunConfig,
+    _ctx: &RunCtx,
+) -> Result<Fig5Result, ExperimentError> {
     let population = Population::generate(PopulationConfig::small(config.sites, config.seed));
     Ok(Fig5Result {
         scan: scan(&population),
@@ -428,7 +445,10 @@ impl ToJson for AblationResult {
 }
 
 /// Runs the §VIII defence ablation.
-pub(super) fn ablation_defenses(_config: &RunConfig) -> Result<AblationResult, ExperimentError> {
+pub(super) fn ablation_defenses(
+    _config: &RunConfig,
+    _ctx: &RunCtx,
+) -> Result<AblationResult, ExperimentError> {
     Ok(AblationResult {
         rows: ablation_matrix(),
     })

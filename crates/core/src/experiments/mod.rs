@@ -25,9 +25,11 @@
 
 mod campaign;
 mod figures;
+mod multiday;
 mod tables;
 
-pub use campaign::CampaignFleetResult;
+pub use campaign::{ApProfile, CampaignFleetResult};
+pub use multiday::{run_campaign_with_checkpoint, DayStats};
 pub use figures::{AblationResult, Fig3Result, Fig4Result, Fig5Result, FlowTrace};
 pub use tables::{
     injection_race_with_timing, run_injection_race, InjectionCell, RefreshMethod, RemovalCell,
@@ -39,6 +41,7 @@ use crate::json::{Json, ToJson};
 use crate::script::Parasite;
 use mp_netsim::capture::TraceMode;
 use mp_netsim::error::NetError;
+use mp_netsim::sim::SharedBudget;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -246,6 +249,28 @@ pub struct RunConfig {
     /// auto-sizes to the machine. Set to `1` to keep a campaign run
     /// single-threaded, e.g. when it is itself one task of a parallel sweep.
     pub fleet_jobs: usize,
+    /// Simulated days the campaign fleet runs for. `1` (the default) is the
+    /// classic single-snapshot sweep; above that the fleet enters the
+    /// multi-day churn loop: clients arrive, depart and clear caches daily,
+    /// target objects rotate per the Figure 3 churn model, and infections are
+    /// carried forward day over day.
+    pub fleet_days: u32,
+    /// Daily client-turnover fraction for the multi-day campaign: each day,
+    /// this share of every AP's clients departs and is replaced by fresh
+    /// (clean) arrivals. `0` disables population churn.
+    pub fleet_churn: f64,
+    /// Draw per-AP heterogeneity (WiFi/WAN latency, jitter, attacker reaction
+    /// and client weights) from seeded distributions instead of the paper's
+    /// uniform Figure 2 timing. Off by default so the classic fleet artifact
+    /// stays byte-identical.
+    pub fleet_hetero: bool,
+    /// Global event budget shared across *every* simulator of a run (all APs,
+    /// shards and days of a campaign; all packet-level experiments of a
+    /// budgeted sweep). `0` (the default) disables the global budget; when
+    /// set, exhaustion fails the run with the typed
+    /// [`NetError::EventBudgetExhausted`] instead of one shard starving
+    /// silently.
+    pub global_event_budget: u64,
 }
 
 impl Default for RunConfig {
@@ -263,6 +288,10 @@ impl Default for RunConfig {
             fleet_aps: 128,
             fleet_shards: 1,
             fleet_jobs: 0,
+            fleet_days: 1,
+            fleet_churn: 0.0,
+            fleet_hetero: false,
+            global_event_budget: 0,
         }
     }
 }
@@ -303,13 +332,24 @@ impl RunConfig {
             fleet_jobs: field(json, "fleet_jobs", defaults.fleet_jobs, |v| {
                 v.as_u64().map(|n| n as usize)
             })?,
+            fleet_days: field(json, "fleet_days", defaults.fleet_days, |v| {
+                v.as_u64().map(|n| n as u32)
+            })?,
+            fleet_churn: field(json, "fleet_churn", defaults.fleet_churn, Json::as_f64)?,
+            fleet_hetero: field(json, "fleet_hetero", defaults.fleet_hetero, Json::as_bool)?,
+            global_event_budget: field(
+                json,
+                "global_event_budget",
+                defaults.global_event_budget,
+                Json::as_u64,
+            )?,
         })
     }
 }
 
 impl ToJson for RunConfig {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("seed", self.seed.to_json()),
             ("scale", self.scale.to_json()),
             ("sites", self.sites.to_json()),
@@ -322,7 +362,64 @@ impl ToJson for RunConfig {
             ("fleet_aps", self.fleet_aps.to_json()),
             ("fleet_shards", self.fleet_shards.to_json()),
             ("fleet_jobs", self.fleet_jobs.to_json()),
-        ])
+        ];
+        // Multi-day / heterogeneity / global-budget extensions are emitted
+        // only when set, so classic single-snapshot reports keep their exact
+        // JSON form ([`RunConfig::from_json`] defaults the absent keys).
+        let defaults = RunConfig::default();
+        if self.fleet_days != defaults.fleet_days {
+            pairs.push(("fleet_days", self.fleet_days.to_json()));
+        }
+        if self.fleet_churn != defaults.fleet_churn {
+            pairs.push(("fleet_churn", self.fleet_churn.to_json()));
+        }
+        if self.fleet_hetero != defaults.fleet_hetero {
+            pairs.push(("fleet_hetero", self.fleet_hetero.to_json()));
+        }
+        if self.global_event_budget != defaults.global_event_budget {
+            pairs.push(("global_event_budget", self.global_event_budget.to_json()));
+        }
+        Json::obj(pairs)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run context
+// ---------------------------------------------------------------------------
+
+/// Cross-cutting execution state shared by every task of one run or sweep —
+/// currently the optional global [`SharedBudget`]. Unlike [`RunConfig`]
+/// (plain serialisable data, copied per task), the context carries live
+/// handles and is shared by reference across a whole sweep.
+#[derive(Debug, Clone, Default)]
+pub struct RunCtx {
+    /// Global event budget shared by every simulator the run builds, if the
+    /// sweep requested one (see [`RunConfig::global_event_budget`]).
+    pub shared_budget: Option<SharedBudget>,
+}
+
+impl RunCtx {
+    /// Builds the context for a sweep over `configs`: if any config asks for
+    /// a global event budget, one shared pool (sized by the largest request)
+    /// is created for the entire sweep.
+    pub fn for_sweep(configs: &[RunConfig]) -> RunCtx {
+        let budget = configs.iter().map(|c| c.global_event_budget).max().unwrap_or(0);
+        RunCtx {
+            shared_budget: (budget > 0).then(|| SharedBudget::new(budget)),
+        }
+    }
+
+    /// The shared budget to use for simulators built under `config`: the
+    /// sweep-wide pool when present, otherwise a fresh pool if the config
+    /// asks for one (the single-`try_run` path), otherwise none.
+    pub(crate) fn budget_for(&self, config: &RunConfig) -> Option<SharedBudget> {
+        match &self.shared_budget {
+            Some(budget) => Some(budget.clone()),
+            None if config.global_event_budget > 0 => {
+                Some(SharedBudget::new(config.global_event_budget))
+            }
+            None => None,
+        }
     }
 }
 
@@ -345,6 +442,9 @@ pub enum ExperimentError {
     /// The experiment panicked; the panic was caught at the task boundary and
     /// its message preserved.
     Panicked(String),
+    /// A multi-day campaign checkpoint could not be read, written or matched
+    /// against the current configuration.
+    Checkpoint(String),
 }
 
 impl fmt::Display for ExperimentError {
@@ -353,6 +453,7 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Net(error) => write!(f, "network simulation failed: {error}"),
             ExperimentError::Config(message) => write!(f, "invalid configuration: {message}"),
             ExperimentError::Panicked(message) => write!(f, "experiment panicked: {message}"),
+            ExperimentError::Checkpoint(message) => write!(f, "campaign checkpoint: {message}"),
         }
     }
 }
@@ -361,7 +462,9 @@ impl std::error::Error for ExperimentError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExperimentError::Net(error) => Some(error),
-            ExperimentError::Config(_) | ExperimentError::Panicked(_) => None,
+            ExperimentError::Config(_)
+            | ExperimentError::Panicked(_)
+            | ExperimentError::Checkpoint(_) => None,
         }
     }
 }
@@ -519,9 +622,16 @@ pub trait Experiment: Send + Sync {
     /// The experiment's identifier.
     fn id(&self) -> ExperimentId;
 
-    /// Runs the experiment under the given configuration, reporting failures
-    /// (such as an exhausted event budget) as a typed [`ExperimentError`].
-    fn try_run(&self, config: &RunConfig) -> Result<Artifact, ExperimentError>;
+    /// Runs the experiment under the given configuration and execution
+    /// context (shared global budget, when the sweep carries one), reporting
+    /// failures as a typed [`ExperimentError`].
+    fn try_run_ctx(&self, config: &RunConfig, ctx: &RunCtx) -> Result<Artifact, ExperimentError>;
+
+    /// Runs the experiment under a default context, reporting failures (such
+    /// as an exhausted event budget) as a typed [`ExperimentError`].
+    fn try_run(&self, config: &RunConfig) -> Result<Artifact, ExperimentError> {
+        self.try_run_ctx(config, &RunCtx::default())
+    }
 
     /// Runs the experiment, panicking on failure. Convenient for the common
     /// case where the configuration is known to be sound; batch sweeps should
@@ -551,11 +661,11 @@ macro_rules! experiments {
                     ExperimentId::$id
                 }
 
-                fn try_run(&self, config: &RunConfig) -> Result<Artifact, ExperimentError> {
+                fn try_run_ctx(&self, config: &RunConfig, ctx: &RunCtx) -> Result<Artifact, ExperimentError> {
                     Ok(Artifact {
                         id: self.id(),
                         config: *config,
-                        data: ArtifactData::$variant($runner(config)?),
+                        data: ArtifactData::$variant($runner(config, ctx)?),
                     })
                 }
             }
@@ -679,17 +789,23 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// panics) reports an [`ExperimentError`] in its own slot while its siblings
 /// run to completion — one runaway configuration can no longer abort a whole
 /// sweep.
+///
+/// If any config sets [`RunConfig::global_event_budget`], one shared event
+/// pool spans the *entire* sweep: every simulator any task builds debits it,
+/// and exhaustion fails the remaining packet-level tasks with the typed
+/// [`NetError::EventBudgetExhausted`] in their own slots.
 pub fn try_run_many(
     ids: &[ExperimentId],
     configs: &[RunConfig],
     jobs: usize,
 ) -> Vec<Result<Artifact, ExperimentError>> {
+    let ctx = RunCtx::for_sweep(configs);
     let tasks: Vec<(ExperimentId, &RunConfig)> = ids
         .iter()
         .flat_map(|id| configs.iter().map(move |config| (*id, config)))
         .collect();
     parallel_tasks(&tasks, jobs, |(id, config)| {
-        catch_unwind(AssertUnwindSafe(|| Registry::get(*id).try_run(config)))
+        catch_unwind(AssertUnwindSafe(|| Registry::get(*id).try_run_ctx(config, &ctx)))
             .unwrap_or_else(|payload| Err(ExperimentError::Panicked(panic_message(payload))))
     })
 }
@@ -770,10 +886,20 @@ mod tests {
             fleet_aps: 16,
             fleet_shards: 2,
             fleet_jobs: 3,
+            fleet_days: 7,
+            fleet_churn: 0.25,
+            fleet_hetero: true,
+            global_event_budget: 123_456,
         };
         let json = config.to_json();
         let parsed = Json::parse(&json.to_string()).expect("well-formed JSON");
         assert_eq!(RunConfig::from_json(&parsed), Some(config));
+        // The extension keys appear only when they differ from the defaults,
+        // so classic configs keep their exact JSON form.
+        let classic = RunConfig::default().to_json().to_string();
+        for absent in ["fleet_days", "fleet_churn", "fleet_hetero", "global_event_budget"] {
+            assert!(!classic.contains(absent), "classic config JSON must omit {absent}");
+        }
         // Missing keys fall back to defaults.
         assert_eq!(RunConfig::from_json(&Json::obj([])), Some(RunConfig::default()));
         // Wrongly-typed keys are an error.
@@ -1071,7 +1197,7 @@ mod tests {
             fn id(&self) -> ExperimentId {
                 ExperimentId::Ablation
             }
-            fn try_run(&self, _config: &RunConfig) -> Result<Artifact, ExperimentError> {
+            fn try_run_ctx(&self, _config: &RunConfig, _ctx: &RunCtx) -> Result<Artifact, ExperimentError> {
                 panic!("boom");
             }
         }

@@ -5,7 +5,7 @@
 //! [`super::Experiment`] impls in the parent module wrap them into
 //! [`super::Artifact`]s.
 
-use super::{standard_infector, ExperimentError, RunConfig, MASTER_HOST};
+use super::{standard_infector, ExperimentError, RunConfig, RunCtx, MASTER_HOST};
 use crate::attacks::{self, AttackReport};
 use crate::cnc::CncServer;
 use crate::eviction::{junk_origin, EvictionAttack, EvictionReport};
@@ -23,7 +23,7 @@ use mp_httpsim::url::{Scheme, Url};
 use mp_netsim::capture::TraceMode;
 use mp_netsim::error::NetError;
 use mp_netsim::link::MediumKind;
-use mp_netsim::sim::{FixedResponder, Simulator, DEFAULT_EVENT_BUDGET};
+use mp_netsim::sim::{FixedResponder, SharedBudget, Simulator, DEFAULT_EVENT_BUDGET};
 use mp_netsim::time::Duration as SimDuration;
 use mp_webcache::{table4_entries, SharedCache};
 use serde::{Deserialize, Serialize};
@@ -84,7 +84,10 @@ impl ToJson for Table1Result {
 /// `config.scale` shrinks the cache sizes and junk objects so the experiment
 /// runs in milliseconds; the *behaviour* (who evicts, who melts down) is
 /// unaffected.
-pub(super) fn table1_cache_eviction(config: &RunConfig) -> Result<Table1Result, ExperimentError> {
+pub(super) fn table1_cache_eviction(
+    config: &RunConfig,
+    _ctx: &RunCtx,
+) -> Result<Table1Result, ExperimentError> {
     let scale = config.scale.max(1);
     let rows = BrowserProfile::table1_browsers()
         .into_iter()
@@ -220,6 +223,30 @@ pub(super) struct RaceRun {
     pub(super) conn: mp_netsim::endpoint::ConnId,
 }
 
+/// Link/attacker timing for one race world. The paper's Figure 2 numbers are
+/// [`RaceTiming::PAPER`]; the heterogeneous campaign draws per-AP variants
+/// from seeded distributions (see `ApProfile` in the campaign module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) struct RaceTiming {
+    /// Delay between the master's tap seeing the request and forging the
+    /// response, in microseconds.
+    pub(super) attacker_reaction_us: u64,
+    /// One-way latency of the shared-WiFi access medium, in microseconds.
+    pub(super) wifi_latency_us: u64,
+    /// One-way WAN latency to the genuine server, in microseconds.
+    pub(super) server_one_way_us: u64,
+}
+
+impl RaceTiming {
+    /// The paper's Figure 2 / Table II timing: 0.3 ms attacker reaction, 2 ms
+    /// WiFi hop, 40 ms one-way WAN.
+    pub(super) const PAPER: RaceTiming = RaceTiming {
+        attacker_reaction_us: 300,
+        wifi_latency_us: 2_000,
+        server_one_way_us: 40_000,
+    };
+}
+
 /// The paper's race world before any victims are attached: a shared-WiFi
 /// access network with the master's tap on it, and the genuine server for
 /// `somesite.com/my.js` across the WAN. [`run_race_simulation`] adds the
@@ -236,16 +263,16 @@ pub(super) struct RaceWorld {
     pub(super) target: Url,
 }
 
-/// Builds the race world: the master's tap reacting after
-/// `attacker_reaction_us`, the genuine server `server_one_way_us` away
-/// (one-way WAN latency), with at most `event_budget` simulator events and
-/// the given trace recorder mode.
+/// Builds the race world under the given [`RaceTiming`], with at most
+/// `event_budget` simulator events, the given trace recorder mode, and an
+/// optional cross-simulator [`SharedBudget`] every processed event also
+/// debits.
 pub(super) fn build_race_world(
     seed: u64,
-    attacker_reaction_us: u64,
-    server_one_way_us: u64,
+    timing: &RaceTiming,
     event_budget: u64,
     trace_mode: TraceMode,
+    shared: Option<&SharedBudget>,
 ) -> RaceWorld {
     let master = Master::new(MASTER_HOST);
     let target = Url::parse("http://somesite.com/my.js").expect("static url");
@@ -253,14 +280,17 @@ pub(super) fn build_race_world(
         .with_cache_control("public, max-age=86400");
     let (tap, _stats) = master.packet_tap(
         &[(target.clone(), genuine.clone())],
-        SimDuration::from_micros(attacker_reaction_us),
+        SimDuration::from_micros(timing.attacker_reaction_us),
     );
 
     let mut sim = Simulator::new(seed)
         .with_event_budget(event_budget)
         .with_trace_mode(trace_mode);
-    let wifi = sim.add_medium(MediumKind::SharedWireless, 2_000);
-    let wan = sim.add_medium(MediumKind::WideArea, server_one_way_us);
+    if let Some(shared) = shared {
+        sim.set_shared_budget(shared.clone());
+    }
+    let wifi = sim.add_medium(MediumKind::SharedWireless, timing.wifi_latency_us);
+    let wan = sim.add_medium(MediumKind::WideArea, timing.server_one_way_us);
     let server = sim.add_host("server", mp_netsim::addr::IpAddr::new(203, 0, 113, 10), wan);
     sim.listen(server, 80);
     sim.set_service(
@@ -289,13 +319,19 @@ pub(super) fn run_race_simulation(
     server_one_way_us: u64,
     event_budget: u64,
     trace_mode: TraceMode,
+    shared: Option<&SharedBudget>,
 ) -> Result<RaceRun, NetError> {
+    let timing = RaceTiming {
+        attacker_reaction_us,
+        server_one_way_us,
+        ..RaceTiming::PAPER
+    };
     let RaceWorld {
         mut sim,
         wifi,
         server,
         target,
-    } = build_race_world(seed, attacker_reaction_us, server_one_way_us, event_budget, trace_mode);
+    } = build_race_world(seed, &timing, event_budget, trace_mode, shared);
     let victim = sim.add_host("victim", mp_netsim::addr::IpAddr::new(10, 0, 0, 2), wifi);
     let conn = sim.connect(victim, server, 80).expect("hosts exist");
     sim.send(victim, conn, &Request::get(target).to_wire()).expect("connection exists");
@@ -312,8 +348,9 @@ fn injection_race(
     server_one_way_us: u64,
     event_budget: u64,
     trace_mode: TraceMode,
+    shared: Option<&SharedBudget>,
 ) -> Result<bool, NetError> {
-    let race = run_race_simulation(seed, attacker_reaction_us, server_one_way_us, event_budget, trace_mode)?;
+    let race = run_race_simulation(seed, attacker_reaction_us, server_one_way_us, event_budget, trace_mode, shared)?;
     Ok(Response::from_wire(&race.sim.received(race.victim, race.conn))
         .ok()
         .map(|r| Parasite::detect(&r.body.as_text()).is_some())
@@ -324,7 +361,7 @@ fn injection_race(
 /// (0.3 ms attacker reaction, 40 ms one-way WAN) and reports whether the
 /// victim ended up with the parasite.
 pub fn run_injection_race(seed: u64) -> bool {
-    injection_race(seed, 300, 40_000, DEFAULT_EVENT_BUDGET, TraceMode::SummaryOnly)
+    injection_race(seed, 300, 40_000, DEFAULT_EVENT_BUDGET, TraceMode::SummaryOnly, None)
         .expect("the standard race stays far within the default event budget")
 }
 
@@ -334,12 +371,16 @@ pub fn run_injection_race(seed: u64) -> bool {
 /// parasite. Used by the race-crossover ablation: the attack only works while
 /// the spoofed response beats the genuine one to the victim.
 pub fn injection_race_with_timing(attacker_reaction_us: u64, server_one_way_us: u64) -> bool {
-    injection_race(1234, attacker_reaction_us, server_one_way_us, DEFAULT_EVENT_BUDGET, TraceMode::SummaryOnly)
+    injection_race(1234, attacker_reaction_us, server_one_way_us, DEFAULT_EVENT_BUDGET, TraceMode::SummaryOnly, None)
         .expect("the parametric race stays far within the default event budget")
 }
 
 /// Runs the Table II OS × browser injection matrix.
-pub(super) fn table2_injection_matrix(config: &RunConfig) -> Result<Table2Result, ExperimentError> {
+pub(super) fn table2_injection_matrix(
+    config: &RunConfig,
+    ctx: &RunCtx,
+) -> Result<Table2Result, ExperimentError> {
+    let shared = ctx.budget_for(config);
     let browsers = BrowserProfile::table2_browsers();
     let browser_names = browsers.iter().map(|b| b.kind.to_string()).collect();
     let mut rows = Vec::new();
@@ -353,7 +394,7 @@ pub(super) fn table2_injection_matrix(config: &RunConfig) -> Result<Table2Result
             // TCP injection does not depend on the browser or OS (both follow
             // the TCP specification); run the race to confirm it.
             let seed = config.seed.wrapping_add((os_index * 16 + browser_index) as u64 + 1);
-            if injection_race(seed, 300, 40_000, config.event_budget, config.trace_mode)? {
+            if injection_race(seed, 300, 40_000, config.event_budget, config.trace_mode, shared.as_ref())? {
                 cells.push(InjectionCell::Success);
             } else {
                 cells.push(InjectionCell::Failure);
@@ -512,7 +553,10 @@ fn parasite_survives_after(profile: BrowserProfile, method: RefreshMethod) -> Re
 }
 
 /// Runs the Table III experiment over the paper's browser set.
-pub(super) fn table3_refresh_methods(_config: &RunConfig) -> Result<Table3Result, ExperimentError> {
+pub(super) fn table3_refresh_methods(
+    _config: &RunConfig,
+    _ctx: &RunCtx,
+) -> Result<Table3Result, ExperimentError> {
     let browsers = vec![
         BrowserProfile::chrome(),
         BrowserProfile::firefox(),
@@ -631,7 +675,10 @@ fn shared_cache_infection(instance: mp_webcache::CacheInstance, https: bool) -> 
 }
 
 /// Runs the Table IV experiment over every taxonomy row.
-pub(super) fn table4_caches(_config: &RunConfig) -> Result<Table4Result, ExperimentError> {
+pub(super) fn table4_caches(
+    _config: &RunConfig,
+    _ctx: &RunCtx,
+) -> Result<Table4Result, ExperimentError> {
     let rows = table4_entries()
         .into_iter()
         .map(|instance| {
@@ -731,7 +778,10 @@ impl ToJson for Table5Result {
 }
 
 /// Runs every Table V attack module against the simulated applications.
-pub(super) fn table5_attacks(_config: &RunConfig) -> Result<Table5Result, ExperimentError> {
+pub(super) fn table5_attacks(
+    _config: &RunConfig,
+    _ctx: &RunCtx,
+) -> Result<Table5Result, ExperimentError> {
     let mut reports = Vec::new();
     let mut cnc = CncServer::new(MASTER_HOST);
 

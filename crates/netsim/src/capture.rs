@@ -89,6 +89,12 @@ impl FromStr for TraceMode {
 
 /// Running counters a [`Trace`] maintains in every mode, so bounded recorders
 /// still answer "how much happened" questions.
+///
+/// The summary describes the *workload*, not the recorder: for the same run
+/// it is byte-identical under [`TraceMode::Full`], [`TraceMode::Ring`] and
+/// [`TraceMode::SummaryOnly`] — events evicted from a ring (or never retained
+/// at all) still count here. How many events the recorder itself discarded is
+/// recorder metadata, reported separately by [`Trace::recorder_dropped`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceSummary {
     /// Transmissions seen (retained or not).
@@ -99,8 +105,6 @@ pub struct TraceSummary {
     pub payload_events: u64,
     /// Total application payload bytes across all transmissions.
     pub payload_bytes: u64,
-    /// Events dropped by the recorder (ring overflow or summary-only mode).
-    pub events_dropped: u64,
     /// Buffered pre-handshake send chunks evicted because their connection
     /// closed or was reset before establishing.
     pub pending_chunks_dropped: u64,
@@ -146,6 +150,11 @@ pub struct Trace {
     name_index: HashMap<String, NameId>,
     events: VecDeque<TraceEvent>,
     summary: TraceSummary,
+    /// Events the *recorder* discarded (ring overflow, summary-only mode or a
+    /// mode switch). Kept outside [`TraceSummary`] so the summary stays
+    /// byte-identical across recorder modes; `retained = total_events -
+    /// recorder_dropped` still holds on every path.
+    recorder_dropped: u64,
 }
 
 impl Default for Trace {
@@ -176,6 +185,7 @@ impl Trace {
             name_index: HashMap::new(),
             events: VecDeque::new(),
             summary: TraceSummary::default(),
+            recorder_dropped: 0,
         }
     }
 
@@ -185,8 +195,9 @@ impl Trace {
     }
 
     /// Switches the recorder mode in place. Already-retained events that the
-    /// new mode would not hold are dropped (and counted in the summary); the
-    /// name table and counters are untouched.
+    /// new mode would not hold are dropped (and counted in
+    /// [`Trace::recorder_dropped`]); the name table and counters are
+    /// untouched.
     ///
     /// # Panics
     ///
@@ -198,11 +209,11 @@ impl Trace {
                 assert!(n > 0, "ring capacity must be positive; use SummaryOnly to retain nothing");
                 while self.events.len() > n {
                     self.events.pop_front();
-                    self.summary.events_dropped += 1;
+                    self.recorder_dropped += 1;
                 }
             }
             TraceMode::SummaryOnly => {
-                self.summary.events_dropped += self.events.len() as u64;
+                self.recorder_dropped += self.events.len() as u64;
                 self.events.clear();
             }
         }
@@ -224,6 +235,7 @@ impl Trace {
             name_index: self.name_index.clone(),
             events: VecDeque::new(),
             summary: TraceSummary::default(),
+            recorder_dropped: 0,
         }
     }
 
@@ -261,11 +273,11 @@ impl Trace {
             TraceMode::Ring(n) => {
                 if self.events.len() == n {
                     self.events.pop_front();
-                    self.summary.events_dropped += 1;
+                    self.recorder_dropped += 1;
                 }
                 self.events.push_back(event);
             }
-            // `note` above already counted the event as dropped.
+            // `note` above already counted the event as recorder-dropped.
             TraceMode::SummaryOnly => {}
         }
     }
@@ -273,8 +285,8 @@ impl Trace {
     /// Updates the summary counters for one transmission without storing an
     /// event. The simulator uses this in [`TraceMode::SummaryOnly`] so the hot
     /// path never materialises a [`TraceEvent`] at all; in that mode the
-    /// event counts as dropped, keeping `retained = total - dropped` true on
-    /// every path.
+    /// event counts as recorder-dropped, keeping `retained = total - dropped`
+    /// true on every path.
     pub fn note(&mut self, injected: bool, payload_len: usize) {
         self.summary.total_events += 1;
         if injected {
@@ -285,7 +297,7 @@ impl Trace {
             self.summary.payload_bytes += payload_len as u64;
         }
         if matches!(self.mode, TraceMode::SummaryOnly) {
-            self.summary.events_dropped += 1;
+            self.recorder_dropped += 1;
         }
     }
 
@@ -296,9 +308,17 @@ impl Trace {
         self.summary.pending_bytes_dropped += bytes;
     }
 
-    /// The running counters (maintained in every mode).
+    /// The running counters (maintained in every mode). For the same run, the
+    /// summary is byte-identical regardless of the recorder mode.
     pub fn summary(&self) -> &TraceSummary {
         &self.summary
+    }
+
+    /// Number of events the recorder discarded (ring overflow, summary-only
+    /// mode or a mode switch). Recorder metadata, deliberately *not* part of
+    /// the [`TraceSummary`]: `retained = total_events - recorder_dropped`.
+    pub fn recorder_dropped(&self) -> u64 {
+        self.recorder_dropped
     }
 
     /// Returns the retained events in transmission order.
@@ -387,6 +407,7 @@ impl Trace {
     pub fn clear(&mut self) {
         self.events.clear();
         self.summary = TraceSummary::default();
+        self.recorder_dropped = 0;
     }
 }
 
@@ -447,7 +468,7 @@ mod tests {
         assert_eq!(summary.injected_events, 1);
         assert_eq!(summary.payload_events, 2);
         assert_eq!(summary.payload_bytes, 21);
-        assert_eq!(summary.events_dropped, 0);
+        assert_eq!(trace.recorder_dropped(), 0);
     }
 
     #[test]
@@ -482,7 +503,7 @@ mod tests {
         let payloads: Vec<Vec<u8>> = trace.events().map(|e| e.packet.segment.payload.to_vec()).collect();
         assert_eq!(payloads, vec![b"two".to_vec(), b"three".to_vec()]);
         assert_eq!(trace.summary().total_events, 3);
-        assert_eq!(trace.summary().events_dropped, 1);
+        assert_eq!(trace.recorder_dropped(), 1);
     }
 
     #[test]
@@ -496,10 +517,32 @@ mod tests {
         assert_eq!(summary.total_events, 2);
         assert_eq!(summary.injected_events, 1);
         assert_eq!(summary.payload_bytes, 12);
-        // Both the pushed event and the noted one count as dropped:
+        // Both the pushed event and the noted one count as recorder-dropped:
         // retained == total - dropped on every path.
-        assert_eq!(summary.events_dropped, 2);
+        assert_eq!(trace.recorder_dropped(), 2);
         assert_eq!(trace.bytes_between("a", "b"), 0);
+    }
+
+    #[test]
+    fn summary_is_byte_identical_across_recorder_modes() {
+        // The same workload replayed under every mode: the TraceSummary (the
+        // workload counters) must not depend on what the recorder retains,
+        // including events evicted from a ring.
+        let record = |mode: TraceMode| {
+            let mut trace = Trace::with_mode(mode);
+            for index in 0..10 {
+                push_event(&mut trace, "victim", "server", b"GET /object", false);
+                push_event(&mut trace, "master", "victim", b"HTTP/1.1 200 OK", index % 2 == 0);
+            }
+            trace.note_dropped_pending(1, 9);
+            *trace.summary()
+        };
+        let full = record(TraceMode::Full);
+        assert_eq!(full, record(TraceMode::Ring(3)));
+        assert_eq!(full, record(TraceMode::Ring(1)));
+        assert_eq!(full, record(TraceMode::SummaryOnly));
+        assert_eq!(full.total_events, 20);
+        assert_eq!(full.injected_events, 5);
     }
 
     #[test]

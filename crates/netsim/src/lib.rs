@@ -51,6 +51,7 @@
 pub mod addr;
 pub mod attacker;
 pub mod capture;
+pub mod dist;
 pub mod endpoint;
 pub mod error;
 pub mod fasthash;

@@ -27,6 +27,81 @@ use rand::{Rng, SeedableRng};
 /// per simulator via [`Simulator::with_event_budget`].
 pub const DEFAULT_EVENT_BUDGET: u64 = 5_000_000;
 
+/// A *global* event budget shared by any number of simulators (typically the
+/// per-AP simulations of one campaign, or every packet-level experiment of a
+/// whole report run). Cloning the handle shares the same pool; each processed
+/// event on any attached simulator debits it by one.
+///
+/// When the pool is empty, [`Simulator::step`] reports the same typed
+/// [`NetError::EventBudgetExhausted`] as the per-simulator budget — *before*
+/// popping the in-flight event — so a caller that [`SharedBudget::refill`]s
+/// the pool can resume every attached simulator without losing a packet, and
+/// a fleet shard can no longer burn the whole machine silently.
+#[derive(Debug, Clone)]
+pub struct SharedBudget {
+    /// Events left in the pool.
+    remaining: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    /// Total ever granted (initial budget plus refills), for error messages.
+    total: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl SharedBudget {
+    /// Creates a pool of `budget` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    pub fn new(budget: u64) -> Self {
+        assert!(budget > 0, "shared event budget must be positive");
+        SharedBudget {
+            remaining: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(budget)),
+            total: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(budget)),
+        }
+    }
+
+    /// Events left in the pool.
+    pub fn remaining(&self) -> u64 {
+        self.remaining.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total events ever granted (initial budget plus refills).
+    pub fn total(&self) -> u64 {
+        self.total.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Returns `true` once the pool has been drained to zero.
+    pub fn exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Adds `additional` events to the pool. Simulators that stopped with
+    /// [`NetError::EventBudgetExhausted`] resume exactly where they left off
+    /// on their next [`Simulator::step`].
+    pub fn refill(&self, additional: u64) {
+        self.total.fetch_add(additional, std::sync::atomic::Ordering::Relaxed);
+        self.remaining.fetch_add(additional, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Debits one event; `false` (and no debit) when the pool is empty.
+    fn try_consume(&self) -> bool {
+        let mut current = self.remaining.load(std::sync::atomic::Ordering::Relaxed);
+        loop {
+            if current == 0 {
+                return false;
+            }
+            match self.remaining.compare_exchange_weak(
+                current,
+                current - 1,
+                std::sync::atomic::Ordering::Relaxed,
+                std::sync::atomic::Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
 struct TapEntry {
     medium: MediumId,
     /// Whether `medium` is observable, precomputed at registration so the
@@ -71,6 +146,9 @@ pub struct Simulator {
     next_seq: u64,
     events_processed: u64,
     event_budget: u64,
+    /// Optional global budget shared with other simulators; `None` (the
+    /// default) keeps the hot path free of atomic traffic.
+    shared_budget: Option<SharedBudget>,
     /// `true` once any medium has non-zero jitter; with it `false` (the
     /// default) the delivery path skips the jitter draw entirely.
     any_jitter: bool,
@@ -121,6 +199,7 @@ impl Simulator {
             next_seq: 0,
             events_processed: 0,
             event_budget: DEFAULT_EVENT_BUDGET,
+            shared_budget: None,
             any_jitter: false,
             rng: StdRng::seed_from_u64(seed),
             delivery_scratch: DeliveryResult::default(),
@@ -151,6 +230,26 @@ impl Simulator {
     /// The configured event budget.
     pub fn event_budget(&self) -> u64 {
         self.event_budget
+    }
+
+    /// Attaches a [`SharedBudget`] (builder form): every processed event also
+    /// debits the shared pool, and an empty pool stops the run with the typed
+    /// [`NetError::EventBudgetExhausted`] — before the in-flight event is
+    /// popped, so refilling the pool resumes the run losslessly.
+    #[must_use]
+    pub fn with_shared_budget(mut self, budget: SharedBudget) -> Self {
+        self.set_shared_budget(budget);
+        self
+    }
+
+    /// Attaches a [`SharedBudget`] on an existing simulator.
+    pub fn set_shared_budget(&mut self, budget: SharedBudget) {
+        self.shared_budget = Some(budget);
+    }
+
+    /// The attached shared budget, if any.
+    pub fn shared_budget(&self) -> Option<&SharedBudget> {
+        self.shared_budget.as_ref()
     }
 
     /// Sets the trace recorder mode (builder form). [`TraceMode::Full`] (the
@@ -592,12 +691,20 @@ impl Simulator {
         if self.queue.is_empty() {
             return Ok(false);
         }
-        // Budget check before the pop: the in-flight event stays queued, so a
-        // caller that raises the budget can resume without losing packets.
+        // Budget checks before the pop: the in-flight event stays queued, so a
+        // caller that raises (or refills) the budget can resume without losing
+        // packets.
         if self.events_processed >= self.event_budget {
             return Err(NetError::EventBudgetExhausted {
                 budget: self.event_budget,
             });
+        }
+        if let Some(shared) = &self.shared_budget {
+            if !shared.try_consume() {
+                return Err(NetError::EventBudgetExhausted {
+                    budget: shared.total(),
+                });
+            }
         }
         let key = self.queue.pop().expect("checked non-empty above");
         let EventBody { to, packet } = self.pool.take(key.slot);
@@ -1008,8 +1115,8 @@ mod tests {
         assert!(trace.is_empty());
         assert!(trace.summary().total_events >= 5);
         assert!(trace.summary().payload_bytes >= 7);
-        // Nothing retained: every event seen counts as dropped.
-        assert_eq!(trace.summary().events_dropped, trace.summary().total_events);
+        // Nothing retained: every event seen counts as recorder-dropped.
+        assert_eq!(trace.recorder_dropped(), trace.summary().total_events);
     }
 
     #[test]
@@ -1027,7 +1134,7 @@ mod tests {
         assert_eq!(trace.len(), 3);
         let total = trace.summary().total_events;
         assert!(total > 3);
-        assert_eq!(trace.summary().events_dropped, total - 3);
+        assert_eq!(trace.recorder_dropped(), total - 3);
         // The retained tail is the most recent transmissions.
         let last = trace.events().last().unwrap();
         assert_eq!(last.delivered_at.as_micros(), sim.now().as_micros());
@@ -1096,6 +1203,63 @@ mod tests {
         sim.set_event_budget(DEFAULT_EVENT_BUDGET);
         sim.run_until_idle().unwrap();
         assert_eq!(sim.received(client, conn), b"resp");
+    }
+
+    #[test]
+    fn shared_budget_is_debited_across_simulators() {
+        let shared = SharedBudget::new(1_000);
+        let run_one = |shared: &SharedBudget| {
+            let (mut sim, client, server, _, _) = basic_world();
+            sim.set_shared_budget(shared.clone());
+            let conn = sim.connect(client, server, 80).unwrap();
+            sim.send(client, conn, b"req").unwrap();
+            sim.run_until_idle().unwrap();
+            sim.events_processed()
+        };
+        let first = run_one(&shared);
+        let second = run_one(&shared);
+        assert_eq!(shared.total(), 1_000);
+        assert_eq!(shared.remaining(), 1_000 - first - second);
+        assert!(!shared.exhausted());
+    }
+
+    #[test]
+    fn exhausted_shared_budget_is_typed_and_refill_resumes_losslessly() {
+        // Reference: the same scenario with no budget pressure at all.
+        let reference = {
+            let (mut sim, client, server, _, _) = basic_world();
+            sim.set_service(
+                server,
+                Box::new(FixedResponder::new(&b"resp"[..], Duration::from_micros(100))),
+            );
+            let conn = sim.connect(client, server, 80).unwrap();
+            sim.send(client, conn, b"req").unwrap();
+            sim.run_until_idle().unwrap();
+            (sim.trace().render(), *sim.trace().summary(), sim.events_processed())
+        };
+
+        let shared = SharedBudget::new(3);
+        let (mut sim, client, server, _, _) = basic_world();
+        sim.set_shared_budget(shared.clone());
+        sim.set_service(
+            server,
+            Box::new(FixedResponder::new(&b"resp"[..], Duration::from_micros(100))),
+        );
+        let conn = sim.connect(client, server, 80).unwrap();
+        sim.send(client, conn, b"req").unwrap();
+        let err = sim.run_until_idle().unwrap_err();
+        assert_eq!(err, NetError::EventBudgetExhausted { budget: 3 });
+        assert!(shared.exhausted());
+        assert_eq!(sim.events_processed(), 3);
+
+        // Refill and resume: the interrupted run replays to a byte-identical
+        // trace, because the budget check fires before the pop.
+        shared.refill(10_000);
+        sim.run_until_idle().unwrap();
+        assert_eq!(sim.trace().render(), reference.0);
+        assert_eq!(*sim.trace().summary(), reference.1);
+        assert_eq!(sim.events_processed(), reference.2);
+        assert_eq!(shared.total(), 10_003);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 
 use master_parasite::netsim::addr::IpAddr;
 use master_parasite::netsim::attacker::{Injector, ResponseInjector};
-use master_parasite::netsim::capture::TraceSummary;
+use master_parasite::netsim::capture::{TraceMode, TraceSummary};
+use master_parasite::netsim::error::NetError;
 use master_parasite::netsim::link::MediumKind;
 use master_parasite::netsim::sim::{FixedResponder, Simulator};
 use master_parasite::netsim::time::Duration;
@@ -19,9 +20,9 @@ use parasite::json::ToJson;
 /// The representative scenario: a café access point (shared WiFi) with the
 /// master's tap on it, the genuine server across the WAN, and a handful of
 /// victims — most requesting the object the master races for, some an
-/// unprepared one. Returns the rendered full trace and the summary counters.
-fn cafe_run(seed: u64, jitter_us: u64) -> (String, TraceSummary) {
-    let mut sim = Simulator::new(seed);
+/// unprepared one. Returns the wired-up simulator, ready to run.
+fn cafe_world(seed: u64, jitter_us: u64, mode: TraceMode) -> Simulator {
+    let mut sim = Simulator::new(seed).with_trace_mode(mode);
     let wifi = sim.add_medium(MediumKind::SharedWireless, 2_000);
     let wan = sim.add_medium(MediumKind::WideArea, 40_000);
     if jitter_us > 0 {
@@ -56,6 +57,13 @@ fn cafe_run(seed: u64, jitter_us: u64) -> (String, TraceSummary) {
         };
         sim.send(client, conn, request).expect("connection exists");
     }
+    sim
+}
+
+/// Runs the café scenario to completion under a full trace and returns the
+/// rendered trace plus the summary counters.
+fn cafe_run(seed: u64, jitter_us: u64) -> (String, TraceSummary) {
+    let mut sim = cafe_world(seed, jitter_us, TraceMode::Full);
     sim.run_until_idle().expect("scenario stays within the event budget");
     (sim.trace().render(), *sim.trace().summary())
 }
@@ -118,4 +126,60 @@ fn run_many_parallel_matches_jobs_one_for_flows_and_fleet() {
     }
     // The Figure 2 flow retains its exact timeline (full trace render).
     assert!(sequential[0].render_text().contains("[ATTACK]"));
+}
+
+#[test]
+fn trace_summary_is_byte_identical_across_recorder_modes() {
+    // The TraceSummary describes the workload, not the recorder: the same
+    // café run must produce bit-for-bit equal counters whether the trace
+    // retains everything, a bounded ring (including events evicted from it),
+    // or nothing at all. Only the recorder-metadata drop counter may differ.
+    let run = |mode: TraceMode| {
+        let mut sim = cafe_world(2021, 300, mode);
+        sim.run_until_idle().expect("scenario stays within the event budget");
+        (*sim.trace().summary(), sim.trace().recorder_dropped(), sim.trace().len())
+    };
+    let (full, full_dropped, full_len) = run(TraceMode::Full);
+    assert_eq!(full_dropped, 0);
+    for mode in [TraceMode::Ring(3), TraceMode::Ring(1024), TraceMode::SummaryOnly] {
+        let (summary, dropped, retained) = run(mode);
+        assert_eq!(summary, full, "summary drifted under {mode:?}");
+        // retained = total - recorder_dropped holds on every path.
+        assert_eq!(retained as u64 + dropped, summary.total_events);
+    }
+    assert_eq!(full_len as u64, full.total_events);
+}
+
+#[test]
+fn budget_exhaustion_then_raise_resumes_byte_identically() {
+    // The reference: the same café run with no budget pressure at all.
+    let (reference_render, reference_summary) = cafe_run(2021, 300);
+
+    // Starve the run: the typed error fires before the in-flight event is
+    // popped, so raising the budget and calling step()/run_until_idle()
+    // again continues exactly where the run stopped.
+    let mut sim = cafe_world(2021, 300, TraceMode::Full);
+    sim.set_event_budget(5);
+    let err = sim.run_until_idle().expect_err("five events cannot finish the cafe");
+    assert_eq!(err, NetError::EventBudgetExhausted { budget: 5 });
+    assert_eq!(sim.events_processed(), 5);
+
+    // Raise a little and single-step: still resumable, still typed.
+    sim.set_event_budget(8);
+    while sim.step().expect("within the raised budget") {
+        if sim.events_processed() == 8 {
+            break;
+        }
+    }
+    assert_eq!(
+        sim.run_until_idle().expect_err("eight events are still not enough"),
+        NetError::EventBudgetExhausted { budget: 8 }
+    );
+
+    // Lift the cap entirely: the finished trace is byte-identical to the
+    // never-budgeted run.
+    sim.set_event_budget(u64::MAX);
+    sim.run_until_idle().expect("uncapped run finishes");
+    assert_eq!(sim.trace().render(), reference_render);
+    assert_eq!(*sim.trace().summary(), reference_summary);
 }

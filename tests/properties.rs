@@ -173,15 +173,23 @@ proptest! {
         fleet_aps in 1usize..10_000,
         fleet_shards in 1usize..64,
         fleet_jobs in 0usize..64,
+        fleet_days in 1u32..400,
+        fleet_churn_millis in 0u64..1_000,
+        fleet_hetero_pick in 0u8..2,
+        global_event_budget in 0u64..100_000_000,
     ) {
+        let fleet_hetero = fleet_hetero_pick == 1;
         let trace_mode = match trace_mode_pick {
             0 => TraceMode::Full,
             1 => TraceMode::SummaryOnly,
             _ => TraceMode::Ring(ring),
         };
+        // A dyadic fraction in [0, 1] that is exact in both f64 and JSON.
+        let fleet_churn = fleet_churn_millis as f64 / 1_024.0;
         let config = RunConfig {
             seed, scale, sites, crawl_sites, days, event_budget,
             trace_mode, jitter_us, fleet_clients, fleet_aps, fleet_shards, fleet_jobs,
+            fleet_days, fleet_churn, fleet_hetero, global_event_budget,
         };
         let text = config.to_json().to_string();
         let parsed = Json::parse(&text).expect("config JSON parses");
