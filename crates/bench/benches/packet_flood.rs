@@ -89,6 +89,26 @@ fn fleet_timing(shards: usize, days: u32, churn: f64) -> (f64, u64) {
     (seconds, events)
 }
 
+/// Times one attack-surface sweep (a CI-sized grid: 4 vectors x 6 delays,
+/// 64 race trials per cell) and returns `(seconds, events)`.
+fn surface_timing() -> (f64, u64) {
+    let config = RunConfig {
+        surface_trials: 64,
+        surface_delay_steps: 6,
+        fleet_jobs: 1,
+        ..RunConfig::default()
+    };
+    let start = std::time::Instant::now();
+    let artifact = Registry::get(ExperimentId::AttackSurface).run(&config);
+    let seconds = start.elapsed().as_secs_f64();
+    let events = artifact
+        .data
+        .as_attack_surface()
+        .expect("surface artifact")
+        .total_events;
+    (seconds, events)
+}
+
 const MODES: [(&str, TraceMode); 3] = [
     ("full_trace", TraceMode::Full),
     ("ring_1024", TraceMode::Ring(1024)),
@@ -142,6 +162,22 @@ fn bench(c: &mut Criterion) {
         ));
     }
 
+    // Surface timing: the attack-surface grid end to end, so the sweep's
+    // cost rides the same trajectory file as the fleet numbers.
+    let (surface_seconds, surface_events) = surface_timing();
+    println!(
+        "packet_flood/surface_sweep: {surface_events} events in {surface_seconds:.3}s ({:.0} events/sec)",
+        surface_events as f64 / surface_seconds
+    );
+    let surface_entry = Json::obj([
+        ("vectors", 4u64.to_json()),
+        ("delay_steps", 6u64.to_json()),
+        ("trials", 64u64.to_json()),
+        ("seconds", surface_seconds.to_json()),
+        ("events", surface_events.to_json()),
+        ("events_per_sec", (surface_events as f64 / surface_seconds).to_json()),
+    ]);
+
     // Machine-readable artifact for CI (uploaded per run; the workflow
     // hard-fails if summary_only regresses >20% against a rolling baseline
     // cached per runner class, and prints an advisory note against the
@@ -153,6 +189,7 @@ fn bench(c: &mut Criterion) {
         ("measure_requests", (MEASURE_REQUESTS as u64).to_json()),
         ("modes", Json::obj(mode_entries)),
         ("fleet", Json::obj(fleet_entries)),
+        ("surface", Json::obj([("surface_sweep", surface_entry)])),
     ]);
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_packet_flood.json");
     if let Err(error) = std::fs::write(&path, format!("{report}\n")) {

@@ -9,7 +9,7 @@
 
 use mp_bench::{render_report, report_json, try_run_selected};
 use parasite::experiments::{
-    run_campaign_with_checkpoint, Artifact, ArtifactData, ExperimentId, RunConfig,
+    run_campaign_with_checkpoint, Artifact, ArtifactData, ExperimentId, RunConfig, SurfaceVector,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -23,7 +23,8 @@ USAGE:
 OPTIONS:
     --only <ids>          run only these experiments (comma-separated ids,
                           repeatable); default: the paper's eleven. Extension
-                          experiments (campaign_fleet) run only when named here
+                          experiments (campaign_fleet, attack_surface) run
+                          only when named here
     --seed <n>            RNG seed for populations and races [default: 2021]
     --scale <n>           Table I cache-size divisor [default: 1000]
     --sites <n>           Figure 5 population size [default: 15000]
@@ -58,6 +59,21 @@ OPTIONS:
     --global-event-budget <n>
                           one event pool shared by every simulator of the run
                           (all APs, shards and days); 0 disables [default: 0]
+    --surface-vectors <names>
+                          attack_surface: comma-separated attack vectors to
+                          sweep (race_vs_hsts, race_vs_csp, persist_vs_sri,
+                          propagate_vs_partitioning) [default: all]
+    --surface-delays <start:end:steps>
+                          attack_surface: master reaction-delay axis in
+                          microseconds [default: 300:160000:8]
+    --surface-adoption <steps>
+                          attack_surface: number of defense-adoption points
+                          over [0, 1] [default: 5]
+    --surface-trials <n>  attack_surface: seeded race trials per grid cell
+                          [default: 200]
+
+    Flags that configure an extension experiment are rejected when that
+    experiment is not selected via --only, instead of being silently inert.
     --jobs <n>            worker threads for independent experiments [default: 1]
     --json                emit one structured JSON document instead of text
     --list                list the experiment ids and titles, then exit
@@ -78,6 +94,13 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut jobs = 1usize;
     let mut json = false;
     let mut checkpoint: Option<PathBuf> = None;
+    // Flags that configure only an extension experiment, recorded when
+    // explicitly passed so inert combinations can be rejected after the id
+    // set is known.
+    let mut fleet_only_flags: Vec<&'static str> = Vec::new();
+    let mut shared_extension_flags: Vec<&'static str> = Vec::new();
+    let mut surface_only_flags: Vec<&'static str> = Vec::new();
+    let mut churn_set = false;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -125,11 +148,13 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
             "--jitter-us" => {
                 config.jitter_us = parse_number(&value_for("--jitter-us")?, "--jitter-us")?;
+                shared_extension_flags.push("--jitter-us");
             }
             "--fleet-clients" => {
                 config.fleet_clients =
                     usize::try_from(parse_number(&value_for("--fleet-clients")?, "--fleet-clients")?)
                         .map_err(|_| "--fleet-clients is out of range".to_string())?;
+                fleet_only_flags.push("--fleet-clients");
             }
             "--fleet-aps" => {
                 config.fleet_aps =
@@ -138,6 +163,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 if config.fleet_aps == 0 {
                     return Err("--fleet-aps must be at least 1".to_string());
                 }
+                fleet_only_flags.push("--fleet-aps");
             }
             "--fleet-shards" => {
                 config.fleet_shards =
@@ -146,11 +172,13 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 if config.fleet_shards == 0 {
                     return Err("--fleet-shards must be at least 1".to_string());
                 }
+                fleet_only_flags.push("--fleet-shards");
             }
             "--fleet-jobs" => {
                 config.fleet_jobs =
                     usize::try_from(parse_number(&value_for("--fleet-jobs")?, "--fleet-jobs")?)
                         .map_err(|_| "--fleet-jobs is out of range".to_string())?;
+                shared_extension_flags.push("--fleet-jobs");
             }
             "--fleet-days" => {
                 config.fleet_days =
@@ -159,6 +187,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 if config.fleet_days == 0 {
                     return Err("--fleet-days must be at least 1".to_string());
                 }
+                fleet_only_flags.push("--fleet-days");
             }
             "--fleet-churn" => {
                 let text = value_for("--fleet-churn")?;
@@ -168,14 +197,66 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 if !(0.0..=1.0).contains(&config.fleet_churn) {
                     return Err("--fleet-churn must be in [0, 1]".to_string());
                 }
+                shared_extension_flags.push("--fleet-churn");
+                churn_set = true;
             }
-            "--fleet-hetero" => config.fleet_hetero = true,
+            "--fleet-hetero" => {
+                config.fleet_hetero = true;
+                fleet_only_flags.push("--fleet-hetero");
+            }
             "--fleet-checkpoint" => {
                 checkpoint = Some(PathBuf::from(value_for("--fleet-checkpoint")?));
             }
             "--global-event-budget" => {
                 config.global_event_budget =
                     parse_number(&value_for("--global-event-budget")?, "--global-event-budget")?;
+            }
+            "--surface-vectors" => {
+                config.surface_vectors = SurfaceVector::parse_mask(&value_for("--surface-vectors")?)
+                    .map_err(|error| format!("--surface-vectors: {error}"))?;
+                surface_only_flags.push("--surface-vectors");
+            }
+            "--surface-delays" => {
+                let text = value_for("--surface-delays")?;
+                let parts: Vec<&str> = text.split(':').collect();
+                let [start, end, steps] = parts.as_slice() else {
+                    return Err(format!(
+                        "--surface-delays: expected <start:end:steps>, got {text:?}"
+                    ));
+                };
+                config.surface_delay_start_us = parse_number(start, "--surface-delays")?;
+                config.surface_delay_end_us = parse_number(end, "--surface-delays")?;
+                config.surface_delay_steps =
+                    usize::try_from(parse_number(steps, "--surface-delays")?)
+                        .map_err(|_| "--surface-delays: steps out of range".to_string())?;
+                if config.surface_delay_steps == 0 {
+                    return Err("--surface-delays: steps must be at least 1".to_string());
+                }
+                if config.surface_delay_start_us > config.surface_delay_end_us {
+                    return Err(format!(
+                        "--surface-delays: range is inverted: [{}, {}]",
+                        config.surface_delay_start_us, config.surface_delay_end_us
+                    ));
+                }
+                surface_only_flags.push("--surface-delays");
+            }
+            "--surface-adoption" => {
+                config.surface_adoption_steps =
+                    usize::try_from(parse_number(&value_for("--surface-adoption")?, "--surface-adoption")?)
+                        .map_err(|_| "--surface-adoption is out of range".to_string())?;
+                if config.surface_adoption_steps == 0 {
+                    return Err("--surface-adoption must be at least 1".to_string());
+                }
+                surface_only_flags.push("--surface-adoption");
+            }
+            "--surface-trials" => {
+                config.surface_trials =
+                    usize::try_from(parse_number(&value_for("--surface-trials")?, "--surface-trials")?)
+                        .map_err(|_| "--surface-trials is out of range".to_string())?;
+                if config.surface_trials == 0 {
+                    return Err("--surface-trials must be at least 1".to_string());
+                }
+                surface_only_flags.push("--surface-trials");
             }
             "--jobs" => {
                 jobs = parse_number(&value_for("--jobs")?, "--jobs")? as usize;
@@ -204,8 +285,39 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let ids = if ids.is_empty() {
         ExperimentId::ALL.to_vec()
     } else {
-        ExperimentId::EXTENDED.into_iter().filter(|id| ids.contains(id)).collect()
+        ExperimentId::EXTENDED.into_iter().filter(|id| ids.contains(id)).collect::<Vec<_>>()
     };
+    // Reject inert flag combinations: a flag that configures an extension
+    // experiment does nothing unless that experiment is selected, and
+    // silently ignoring it would mask typos and misread sweeps.
+    let campaign = ids.contains(&ExperimentId::CampaignFleet);
+    let surface = ids.contains(&ExperimentId::AttackSurface);
+    if let Some(flag) = fleet_only_flags.first().filter(|_| !campaign) {
+        return Err(format!(
+            "{flag} configures the campaign_fleet experiment, which is not \
+             selected; add --only campaign_fleet"
+        ));
+    }
+    if let Some(flag) = shared_extension_flags.first().filter(|_| !campaign && !surface) {
+        return Err(format!(
+            "{flag} configures the campaign_fleet / attack_surface \
+             experiments, none of which is selected; add them to --only"
+        ));
+    }
+    if let Some(flag) = surface_only_flags.first().filter(|_| !surface) {
+        return Err(format!(
+            "{flag} configures the attack_surface experiment, which is not \
+             selected; add --only attack_surface"
+        ));
+    }
+    if churn_set && !surface && config.fleet_days < 2 {
+        return Err(
+            "--fleet-churn only affects a multi-day campaign; set \
+             --fleet-days to 2 or more (or select attack_surface, whose \
+             steady-state curve uses the churn rate)"
+                .to_string(),
+        );
+    }
     if checkpoint.is_some() {
         // A checkpointed campaign is a dedicated operation: it must not
         // silently switch a single-snapshot run onto the churn model, and it

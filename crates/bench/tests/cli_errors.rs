@@ -1,0 +1,108 @@
+//! CLI contract of `paper-report`: bad flag combinations must exit with
+//! code 2 and a pointed diagnostic, never run with silently inert flags —
+//! an extension flag without its experiment selected used to parse fine and
+//! then do nothing, masking typos and misread sweeps.
+
+use std::process::Command;
+
+fn paper_report(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_paper-report"))
+        .args(args)
+        .output()
+        .expect("paper-report spawns")
+}
+
+/// Runs `paper-report` with `args`, asserting exit code 2 and that the
+/// diagnostic names the offending flag.
+fn assert_rejected(args: &[&str], expected_in_stderr: &str) {
+    let output = paper_report(args);
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "args {args:?} should be a usage error; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains(expected_in_stderr),
+        "args {args:?}: stderr {stderr:?} does not mention {expected_in_stderr:?}"
+    );
+}
+
+#[test]
+fn inert_fleet_flags_without_campaign_fleet_are_rejected() {
+    assert_rejected(&["--fleet-hetero"], "--fleet-hetero");
+    assert_rejected(&["--fleet-clients", "1000"], "--only campaign_fleet");
+    assert_rejected(&["--fleet-days", "5", "--only", "fig2"], "--fleet-days");
+    assert_rejected(&["--fleet-shards", "4", "--only", "attack_surface"], "--fleet-shards");
+}
+
+#[test]
+fn inert_surface_flags_without_attack_surface_are_rejected() {
+    assert_rejected(&["--surface-trials", "16"], "--only attack_surface");
+    assert_rejected(
+        &["--surface-vectors", "race_vs_csp", "--only", "campaign_fleet"],
+        "--surface-vectors",
+    );
+    assert_rejected(&["--surface-delays", "300:1000:2", "--only", "fig1"], "--surface-delays");
+    assert_rejected(&["--surface-adoption", "3"], "--surface-adoption");
+}
+
+#[test]
+fn inert_churn_and_checkpoint_combos_are_rejected() {
+    // --fleet-churn on a single-snapshot campaign does nothing.
+    assert_rejected(
+        &["--fleet-churn", "0.2", "--only", "campaign_fleet"],
+        "--fleet-days",
+    );
+    // --fleet-checkpoint without the multi-day loop (and without the
+    // campaign selected at all) is refused, not ignored.
+    assert_rejected(
+        &["--fleet-checkpoint", "x.json", "--only", "campaign_fleet"],
+        "--fleet-days",
+    );
+    assert_rejected(&["--fleet-checkpoint", "x.json"], "--only campaign_fleet");
+    // Shared flags need at least one consuming experiment.
+    assert_rejected(&["--jitter-us", "200"], "campaign_fleet / attack_surface");
+}
+
+#[test]
+fn malformed_surface_axes_are_rejected() {
+    let surface = ["--only", "attack_surface"];
+    assert_rejected(&[&surface[..], &["--surface-delays", "300:200:4"]].concat(), "inverted");
+    assert_rejected(&[&surface[..], &["--surface-delays", "300-200-4"]].concat(), "start:end:steps");
+    assert_rejected(&[&surface[..], &["--surface-trials", "0"]].concat(), "--surface-trials");
+    assert_rejected(&[&surface[..], &["--surface-adoption", "0"]].concat(), "--surface-adoption");
+    assert_rejected(
+        &[&surface[..], &["--surface-vectors", "race_vs_nothing"]].concat(),
+        "unknown attack vector",
+    );
+}
+
+#[test]
+fn valid_extension_combos_run_and_exit_zero() {
+    // The same flags accept once their experiment is selected: a tiny
+    // surface grid runs to completion with exit code 0 and JSON output.
+    let output = paper_report(&[
+        "--only",
+        "attack_surface",
+        "--surface-trials",
+        "4",
+        "--surface-delays",
+        "300:1000:2",
+        "--surface-adoption",
+        "2",
+        "--surface-vectors",
+        "race_vs_csp",
+        "--json",
+    ]);
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("\"attack_surface\""));
+    assert!(stdout.contains("\"success_vs_delay\""));
+}

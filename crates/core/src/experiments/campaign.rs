@@ -33,7 +33,7 @@ use serde::{Deserialize, Serialize};
 
 /// One AP addresses its clients out of `10.x.y.2`, so a single simulation
 /// holds at most a /16 of them.
-const MAX_CLIENTS_PER_AP: usize = 65_536;
+pub(super) const MAX_CLIENTS_PER_AP: usize = 65_536;
 
 /// Seed-stream tag for per-AP heterogeneity profiles: profiles are drawn from
 /// `mix_seed(campaign_seed, PROFILE_TAG ^ ap_index)`, a stream disjoint from
@@ -639,18 +639,35 @@ mod tests {
     fn shard_seed_streams_cannot_collide_with_each_other_or_with_ap_seeds() {
         // The splitmix-derived streams must be pairwise disjoint for any
         // realistic campaign: shard seeds (SHARD_TAG stream), per-AP seeds
-        // (untagged stream) and heterogeneity profile seeds (PROFILE_TAG
-        // stream), across several campaign seeds. The old additive offsets
-        // collided as soon as offsets overlapped; hashed streams do not.
+        // (untagged stream), heterogeneity profile seeds (PROFILE_TAG
+        // stream), and the attack-surface grid streams (SURFACE_TAG for the
+        // per-cell race worlds, ADOPT_TAG for the adoption draws), across
+        // several campaign seeds. The old additive offsets collided as soon
+        // as offsets overlapped; hashed streams do not.
+        use super::super::surface::{cell_tag, ADOPT_TAG, SURFACE_TAG};
         let mut seen = HashSet::new();
+        let mut expected = 0usize;
         for campaign_seed in [0u64, 1, 2021, u64::MAX] {
             for index in 0..512u64 {
                 seen.insert(mix_seed(campaign_seed, SHARD_TAG ^ index));
                 seen.insert(mix_seed(campaign_seed, index));
                 seen.insert(mix_seed(campaign_seed, PROFILE_TAG ^ index));
+                expected += 3;
+            }
+            // Surface grid cells use packed (vector, delay, jitter)
+            // coordinates; sweep a grid larger than any realistic run.
+            for vector in 0..4usize {
+                for delay in 0..16usize {
+                    for jitter in 0..2usize {
+                        let tag = cell_tag(vector, delay, jitter);
+                        seen.insert(mix_seed(campaign_seed, SURFACE_TAG ^ tag));
+                        seen.insert(mix_seed(campaign_seed, ADOPT_TAG ^ tag));
+                        expected += 2;
+                    }
+                }
             }
         }
-        assert_eq!(seen.len(), 4 * 3 * 512, "all derived seeds pairwise distinct");
+        assert_eq!(seen.len(), expected, "all derived seeds pairwise distinct");
     }
 
     #[test]

@@ -26,10 +26,12 @@
 mod campaign;
 mod figures;
 mod multiday;
+mod surface;
 mod tables;
 
 pub use campaign::{ApProfile, CampaignFleetResult};
 pub use multiday::{run_campaign_with_checkpoint, DayStats};
+pub use surface::{CurvePoint, SurfaceResult, SurfaceVector, VectorSurface};
 pub use figures::{AblationResult, Fig3Result, Fig4Result, Fig5Result, FlowTrace};
 pub use tables::{
     injection_race_with_timing, run_injection_race, InjectionCell, RefreshMethod, RemovalCell,
@@ -62,7 +64,7 @@ pub(crate) fn standard_infector() -> Infector {
 
 /// Identifier of one of the paper's eleven experiments, or of an extension
 /// experiment that goes beyond the paper (currently
-/// [`ExperimentId::CampaignFleet`]).
+/// [`ExperimentId::CampaignFleet`] and [`ExperimentId::AttackSurface`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum ExperimentId {
     /// Table I — cache eviction on popular browsers.
@@ -90,6 +92,10 @@ pub enum ExperimentId {
     /// Extension — population-scale café-AP fleet sweep (not a paper
     /// artefact; it scales the Figure 2 race world to ~100k clients).
     CampaignFleet,
+    /// Extension — attack-surface probability sweep over (attack vector ×
+    /// master reaction latency × jitter × defense adoption), mapping the
+    /// paper's race and §VIII defense matrix into figure-style curves.
+    AttackSurface,
 }
 
 impl ExperimentId {
@@ -111,7 +117,7 @@ impl ExperimentId {
     ];
 
     /// Every registered experiment: the paper's eleven plus the extensions.
-    pub const EXTENDED: [ExperimentId; 12] = [
+    pub const EXTENDED: [ExperimentId; 13] = [
         ExperimentId::Table1,
         ExperimentId::Table2,
         ExperimentId::Table3,
@@ -124,6 +130,7 @@ impl ExperimentId {
         ExperimentId::Fig5,
         ExperimentId::Ablation,
         ExperimentId::CampaignFleet,
+        ExperimentId::AttackSurface,
     ];
 
     /// The canonical id string (what [`fmt::Display`] prints and
@@ -142,6 +149,7 @@ impl ExperimentId {
             ExperimentId::Fig5 => "fig5",
             ExperimentId::Ablation => "ablation",
             ExperimentId::CampaignFleet => "campaign_fleet",
+            ExperimentId::AttackSurface => "attack_surface",
         }
     }
 
@@ -160,6 +168,7 @@ impl ExperimentId {
             ExperimentId::Fig5 => "Figure 5 - CSP / HSTS / TLS measurement",
             ExperimentId::Ablation => "Countermeasure ablation (SVIII)",
             ExperimentId::CampaignFleet => "Campaign - population-scale cafe-AP fleet sweep",
+            ExperimentId::AttackSurface => "Attack surface - race x defense probability sweep",
         }
     }
 }
@@ -271,6 +280,24 @@ pub struct RunConfig {
     /// [`NetError::EventBudgetExhausted`] instead of one shard starving
     /// silently.
     pub global_event_budget: u64,
+    /// Seeded race trials per grid cell of the [`ExperimentId::AttackSurface`]
+    /// sweep (victims attached to each cell's race world).
+    pub surface_trials: usize,
+    /// First master reaction delay of the attack-surface sweep, microseconds.
+    pub surface_delay_start_us: u64,
+    /// Last master reaction delay of the attack-surface sweep, microseconds.
+    /// The default range spans the paper-timing crossover (~80.5 ms) where
+    /// the genuine response starts beating the spoofed one.
+    pub surface_delay_end_us: u64,
+    /// Number of evenly spaced reaction delays swept over
+    /// `[surface_delay_start_us, surface_delay_end_us]`.
+    pub surface_delay_steps: usize,
+    /// Number of evenly spaced defense-adoption fractions swept over `[0, 1]`.
+    pub surface_adoption_steps: usize,
+    /// Bitmask selecting the attack vectors of the surface sweep, bit *i*
+    /// enabling `SurfaceVector::ALL[i]`; `0` (the default) sweeps all of
+    /// them. Built from names by [`SurfaceVector::parse_mask`].
+    pub surface_vectors: u8,
 }
 
 impl Default for RunConfig {
@@ -292,6 +319,12 @@ impl Default for RunConfig {
             fleet_churn: 0.0,
             fleet_hetero: false,
             global_event_budget: 0,
+            surface_trials: 200,
+            surface_delay_start_us: 300,
+            surface_delay_end_us: 160_000,
+            surface_delay_steps: 8,
+            surface_adoption_steps: 5,
+            surface_vectors: 0,
         }
     }
 }
@@ -343,6 +376,36 @@ impl RunConfig {
                 defaults.global_event_budget,
                 Json::as_u64,
             )?,
+            surface_trials: field(json, "surface_trials", defaults.surface_trials, |v| {
+                v.as_u64().map(|n| n as usize)
+            })?,
+            surface_delay_start_us: field(
+                json,
+                "surface_delay_start_us",
+                defaults.surface_delay_start_us,
+                Json::as_u64,
+            )?,
+            surface_delay_end_us: field(
+                json,
+                "surface_delay_end_us",
+                defaults.surface_delay_end_us,
+                Json::as_u64,
+            )?,
+            surface_delay_steps: field(
+                json,
+                "surface_delay_steps",
+                defaults.surface_delay_steps,
+                |v| v.as_u64().map(|n| n as usize),
+            )?,
+            surface_adoption_steps: field(
+                json,
+                "surface_adoption_steps",
+                defaults.surface_adoption_steps,
+                |v| v.as_u64().map(|n| n as usize),
+            )?,
+            surface_vectors: field(json, "surface_vectors", defaults.surface_vectors, |v| {
+                v.as_u64().map(|n| n as u8)
+            })?,
         })
     }
 }
@@ -378,6 +441,24 @@ impl ToJson for RunConfig {
         }
         if self.global_event_budget != defaults.global_event_budget {
             pairs.push(("global_event_budget", self.global_event_budget.to_json()));
+        }
+        if self.surface_trials != defaults.surface_trials {
+            pairs.push(("surface_trials", self.surface_trials.to_json()));
+        }
+        if self.surface_delay_start_us != defaults.surface_delay_start_us {
+            pairs.push(("surface_delay_start_us", self.surface_delay_start_us.to_json()));
+        }
+        if self.surface_delay_end_us != defaults.surface_delay_end_us {
+            pairs.push(("surface_delay_end_us", self.surface_delay_end_us.to_json()));
+        }
+        if self.surface_delay_steps != defaults.surface_delay_steps {
+            pairs.push(("surface_delay_steps", self.surface_delay_steps.to_json()));
+        }
+        if self.surface_adoption_steps != defaults.surface_adoption_steps {
+            pairs.push(("surface_adoption_steps", self.surface_adoption_steps.to_json()));
+        }
+        if self.surface_vectors != defaults.surface_vectors {
+            pairs.push(("surface_vectors", u64::from(self.surface_vectors).to_json()));
         }
         Json::obj(pairs)
     }
@@ -506,6 +587,8 @@ pub enum ArtifactData {
     Ablation(AblationResult),
     /// Campaign fleet sweep result.
     CampaignFleet(CampaignFleetResult),
+    /// Attack-surface probability sweep result.
+    AttackSurface(SurfaceResult),
 }
 
 macro_rules! artifact_accessor {
@@ -548,6 +631,8 @@ impl ArtifactData {
         as_ablation, Ablation, AblationResult;
         /// The campaign fleet result, if this is one.
         as_campaign_fleet, CampaignFleet, CampaignFleetResult;
+        /// The attack-surface result, if this is one.
+        as_attack_surface, AttackSurface, SurfaceResult;
     }
 }
 
@@ -566,6 +651,7 @@ impl ToJson for ArtifactData {
             ArtifactData::Fig5(r) => r.to_json(),
             ArtifactData::Ablation(r) => r.to_json(),
             ArtifactData::CampaignFleet(r) => r.to_json(),
+            ArtifactData::AttackSurface(r) => r.to_json(),
         }
     }
 }
@@ -598,6 +684,7 @@ impl Artifact {
             ArtifactData::Fig5(r) => r.render(),
             ArtifactData::Ablation(r) => r.render(),
             ArtifactData::CampaignFleet(r) => r.render(),
+            ArtifactData::AttackSurface(r) => r.render(),
         }
     }
 }
@@ -714,6 +801,8 @@ experiments! {
     AblationDefenses, Ablation, Ablation, figures::ablation_defenses;
     /// Extension — the population-scale café-AP campaign sweep.
     CampaignFleetSweep, CampaignFleet, CampaignFleet, campaign::campaign_fleet;
+    /// Extension — the attack-surface probability sweep.
+    AttackSurfaceSweep, AttackSurface, AttackSurface, surface::attack_surface;
 }
 
 impl Registry {
@@ -890,6 +979,12 @@ mod tests {
             fleet_churn: 0.25,
             fleet_hetero: true,
             global_event_budget: 123_456,
+            surface_trials: 64,
+            surface_delay_start_us: 500,
+            surface_delay_end_us: 90_000,
+            surface_delay_steps: 4,
+            surface_adoption_steps: 3,
+            surface_vectors: 0b0101,
         };
         let json = config.to_json();
         let parsed = Json::parse(&json.to_string()).expect("well-formed JSON");
@@ -897,7 +992,18 @@ mod tests {
         // The extension keys appear only when they differ from the defaults,
         // so classic configs keep their exact JSON form.
         let classic = RunConfig::default().to_json().to_string();
-        for absent in ["fleet_days", "fleet_churn", "fleet_hetero", "global_event_budget"] {
+        for absent in [
+            "fleet_days",
+            "fleet_churn",
+            "fleet_hetero",
+            "global_event_budget",
+            "surface_trials",
+            "surface_delay_start_us",
+            "surface_delay_end_us",
+            "surface_delay_steps",
+            "surface_adoption_steps",
+            "surface_vectors",
+        ] {
             assert!(!classic.contains(absent), "classic config JSON must omit {absent}");
         }
         // Missing keys fall back to defaults.
@@ -1058,12 +1164,14 @@ mod tests {
     #[test]
     fn extended_registry_adds_the_campaign_fleet() {
         let extended = Registry::extended();
-        assert_eq!(extended.len(), 12);
-        assert_eq!(extended.last().unwrap().id(), ExperimentId::CampaignFleet);
+        assert_eq!(extended.len(), 13);
+        assert_eq!(extended.last().unwrap().id(), ExperimentId::AttackSurface);
         assert_eq!("campaign_fleet".parse::<ExperimentId>(), Ok(ExperimentId::CampaignFleet));
+        assert_eq!("attack_surface".parse::<ExperimentId>(), Ok(ExperimentId::AttackSurface));
         // The paper set stays exactly eleven so the classic report is stable.
         assert_eq!(Registry::all().len(), 11);
         assert!(!ExperimentId::ALL.contains(&ExperimentId::CampaignFleet));
+        assert!(!ExperimentId::ALL.contains(&ExperimentId::AttackSurface));
     }
 
     #[test]

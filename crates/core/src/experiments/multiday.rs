@@ -52,8 +52,9 @@ const TARGET_TAG: u64 = 0x7a26_e700_0000_0000;
 /// Daily probability that an *infected* seat clears its browser cache (the
 /// only Table III refresh method that removes a Cache-API parasite). Kept
 /// deliberately low: the paper's point is that ordinary refreshing does not
-/// help.
-const DAILY_CACHE_CLEAR: f64 = 0.01;
+/// help. Shared with the attack-surface sweep, whose steady-state fixed
+/// point uses the same daily cure rate.
+pub(super) const DAILY_CACHE_CLEAR: f64 = 0.01;
 
 /// Checkpoint format version written by [`write_checkpoint`].
 const CHECKPOINT_VERSION: u64 = 1;
@@ -417,7 +418,12 @@ pub fn run_campaign_with_checkpoint(
 }
 
 /// The configuration fields a checkpoint pins. Anything that changes the
-/// campaign's deterministic trajectory must appear here.
+/// campaign's deterministic trajectory must appear here — and *nothing*
+/// else: pure scheduling hints (`fleet_jobs`, `fleet_shards`) and fields
+/// other experiments own (`scale`, `sites`, the surface axes, …) are
+/// deliberately excluded, so a campaign can resume under a different
+/// `--jobs`/`--fleet-shards` and still produce byte-identical output
+/// (pinned by `resume_accepts_different_scheduling_hints`).
 fn config_fingerprint(config: &RunConfig) -> Json {
     Json::obj([
         ("seed", config.seed.to_json()),
@@ -505,19 +511,33 @@ fn checkpoint_json(config: &RunConfig, state: &CampaignState) -> Json {
 
 /// Writes the checkpoint atomically (temp file in the same directory, then
 /// rename), so a kill mid-write leaves the previous day's checkpoint intact.
+///
+/// The temp name carries the pid and a process-wide counter: two writers
+/// pointed at the same checkpoint path (concurrent runs, or shard workers of
+/// a future parallel day loop) must not scribble into one shared temp file —
+/// with a fixed `.tmp` suffix, writer A's rename could publish writer B's
+/// half-written document. Unique temp names keep every rename atomic and
+/// whole-file.
 fn write_checkpoint(
     path: &Path,
     config: &RunConfig,
     state: &CampaignState,
 ) -> Result<(), ExperimentError> {
+    static WRITER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let document = checkpoint_json(config, state).to_string();
     let mut temp = path.to_path_buf();
     let mut name = path.file_name().unwrap_or_default().to_os_string();
-    name.push(".tmp");
+    name.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        WRITER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
     temp.set_file_name(name);
     std::fs::write(&temp, document)
         .and_then(|()| std::fs::rename(&temp, path))
         .map_err(|error| {
+            // Leave no orphan behind if the rename (not the write) failed.
+            let _ = std::fs::remove_file(&temp);
             ExperimentError::Checkpoint(format!("writing {} failed: {error}", path.display()))
         })
 }
@@ -771,6 +791,95 @@ mod tests {
         // re-running any day.
         let finished = run_campaign_with_checkpoint(&config, &path).expect("finished resume");
         assert_eq!(finished, reference);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_accepts_different_scheduling_hints() {
+        // fleet_jobs and fleet_shards are pure scheduling hints — the
+        // fingerprint must not pin them, so a checkpoint written under
+        // `--jobs 1` resumes under a thread pool and different shard counts
+        // with byte-identical output.
+        let dir = std::env::temp_dir().join(format!(
+            "mp-checkpoint-test-{}-hints",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("campaign.ckpt.json");
+        let _ = std::fs::remove_file(&path);
+
+        let config = churn_config();
+        let reference = run_campaign_with_checkpoint(&config, &path).expect("reference run");
+
+        // Snapshot day 2 under the single-threaded config...
+        let mut state = CampaignState::fresh(&config);
+        for day in 1..=2 {
+            run_day(&config, &mut state, day, None).expect("day runs");
+        }
+        write_checkpoint(&path, &config, &state).expect("snapshot written");
+
+        // ...and resume under different jobs/shards. Only the echoed
+        // `shards` field may differ from the reference.
+        let hinted = RunConfig { fleet_jobs: 4, fleet_shards: 2, ..config };
+        let resumed = run_campaign_with_checkpoint(&hinted, &path).expect("hinted resume");
+        assert_eq!(resumed.shards, 2);
+        let normalized = CampaignFleetResult { shards: reference.shards, ..resumed };
+        assert_eq!(normalized, reference, "scheduling hints must not change the trajectory");
+        assert_eq!(
+            normalized.to_json().to_string(),
+            reference.to_json().to_string(),
+            "down to the JSON wire form"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_checkpoint_writers_do_not_collide() {
+        // Two writers pointed at the same path race; unique temp names keep
+        // every rename whole-file, so the survivor is always one writer's
+        // complete document — never an interleaving — and no temp files leak.
+        let dir = std::env::temp_dir().join(format!(
+            "mp-checkpoint-test-{}-writers",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("campaign.ckpt.json");
+        let _ = std::fs::remove_file(&path);
+
+        let config = churn_config();
+        let mut one_day = CampaignState::fresh(&config);
+        run_day(&config, &mut one_day, 1, None).expect("day runs");
+        let mut two_days = CampaignState::fresh(&config);
+        for day in 1..=2 {
+            run_day(&config, &mut two_days, day, None).expect("day runs");
+        }
+
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                for state in [&one_day, &two_days] {
+                    scope.spawn(|| {
+                        for _ in 0..8 {
+                            write_checkpoint(&path, &config, state).expect("write succeeds");
+                        }
+                    });
+                }
+            }
+        });
+
+        // The surviving file is a valid, complete checkpoint of one of the
+        // two states.
+        let resumed = load_checkpoint(&path, &config).expect("valid checkpoint survives");
+        assert!(resumed.day == 1 || resumed.day == 2);
+        let expected = if resumed.day == 1 { &one_day } else { &two_days };
+        assert_eq!(resumed.infected, expected.infected);
+        assert_eq!(resumed.day_stats, expected.day_stats);
+        // No orphaned temp files remain.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir listing")
+            .filter_map(|entry| entry.ok())
+            .filter(|entry| entry.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -65,8 +65,13 @@ impl Dist {
                 if lo == hi {
                     return lo;
                 }
-                // Inverse CDF of the triangular distribution.
-                let (lo_f, mode_f, hi_f) = (lo as f64, mode as f64, hi as f64);
+                // Inverse CDF of the triangular distribution. The continuous
+                // support is widened by half a unit on each side so that
+                // rounding gives every integer — endpoints included — a
+                // full-width bin: sampling on [lo, hi] directly would leave
+                // `lo` and `hi` half-width bins and pile the clamped tail
+                // mass onto them.
+                let (lo_f, mode_f, hi_f) = (lo as f64 - 0.5, mode as f64, hi as f64 + 0.5);
                 let span = hi_f - lo_f;
                 let cut = (mode_f - lo_f) / span;
                 let u: f64 = rng.gen();
@@ -75,7 +80,7 @@ impl Dist {
                 } else {
                     hi_f - ((1.0 - u) * span * (hi_f - mode_f)).sqrt()
                 };
-                (sample.round() as u64).clamp(lo, hi)
+                sample.round().clamp(lo as f64, hi as f64) as u64
             }
         }
     }
@@ -147,6 +152,38 @@ mod tests {
         assert!(below > 750, "only {below} of 2000 samples near the mode");
         // Degenerate spans behave.
         assert_eq!(Dist::Triangular { lo: 9, mode: 9, hi: 9 }.sample(&mut rng), 9);
+    }
+
+    #[test]
+    fn triangular_endpoint_bins_get_full_width_mass() {
+        // With the mode sitting on an endpoint, that endpoint's bin must get
+        // the full-width mass of the widened support, not the half-width bin
+        // (plus clamped tail) the old `[lo, hi]` sampling produced. For
+        // Triangular{0, 0, 10} the exact mass of 0 is
+        // F(0.5) = 1 − 10² / (11 · 10.5) ≈ 0.1342, so 10 000 draws put
+        // ≈ 1342 samples there (σ ≈ 34); the half-width bucketing puts only
+        // ≈ 975 (σ ≈ 30). The 1150 threshold separates the two by > 5σ.
+        let count_at = |dist: Dist, value: u64| {
+            let mut rng = StdRng::seed_from_u64(2021);
+            (0..10_000).filter(|_| dist.sample(&mut rng) == value).count()
+        };
+        let at_lo = count_at(Dist::Triangular { lo: 0, mode: 0, hi: 10 }, 0);
+        assert!(at_lo > 1150, "lo-mode endpoint underweighted: {at_lo} of 10000");
+        // Mirror case: the mode on the upper endpoint.
+        let at_hi = count_at(Dist::Triangular { lo: 0, mode: 10, hi: 10 }, 10);
+        assert!(at_hi > 1150, "hi-mode endpoint underweighted: {at_hi} of 10000");
+        // Interior bins keep a consistent share: the first off-mode bin of
+        // the lo-mode triangle holds F(1.5) − F(0.5) = 19 / 115.5 ≈ 0.1645
+        // of the mass.
+        let mut rng = StdRng::seed_from_u64(2021);
+        let dist = Dist::Triangular { lo: 0, mode: 0, hi: 10 };
+        let mut counts = [0usize; 11];
+        for _ in 0..10_000 {
+            counts[dist.sample(&mut rng) as usize] += 1;
+        }
+        assert!((1450..1850).contains(&counts[1]), "interior bin drifted: {}", counts[1]);
+        // No mass escapes the integer support.
+        assert_eq!(counts.iter().sum::<usize>(), 10_000);
     }
 
     #[test]

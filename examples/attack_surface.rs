@@ -1,0 +1,45 @@
+//! Mapping the attack surface: where does the parasite actually win?
+//!
+//! The paper demonstrates the injection race at one operating point (a
+//! 300 µs master on a 40 ms WAN). The `attack_surface` experiment sweeps the
+//! surrounding space — master reaction latency, WiFi jitter and the share of
+//! victims deploying each §VIII countermeasure — and reports race-success
+//! and steady-state-infection curves with Wilson 95% intervals, ready to
+//! plot. The headline falls out of the grid: HSTS preloading starves the
+//! attack as adoption grows, while a strict CSP never does.
+//!
+//! Run with: `cargo run --release --example attack_surface`
+
+use master_parasite::parasite::experiments::{ExperimentId, Registry, RunConfig};
+use master_parasite::parasite::json::ToJson;
+
+fn main() {
+    // A finer grid than the defaults, with a jitter axis: 4 vectors x
+    // 6 delays x 2 jitters, 100 seeded race trials per cell.
+    let config = RunConfig {
+        surface_trials: 100,
+        surface_delay_start_us: 300,
+        surface_delay_end_us: 160_000,
+        surface_delay_steps: 6,
+        surface_adoption_steps: 5,
+        jitter_us: 400,
+        ..RunConfig::default()
+    };
+    let artifact = Registry::get(ExperimentId::AttackSurface)
+        .try_run(&config)
+        .expect("the sweep stays within its event budget");
+    println!("{}", artifact.render_text());
+
+    // The same grid as machine-readable series (what `paper-report
+    // --only attack_surface --json` emits per artifact).
+    let result = artifact.data.as_attack_surface().expect("surface artifact");
+    let csp = result
+        .vectors
+        .iter()
+        .find(|v| v.vector == "race_vs_csp")
+        .expect("CSP vector swept");
+    println!(
+        "plot-ready JSON for one curve: {}",
+        csp.infection_vs_adoption.to_json()
+    );
+}

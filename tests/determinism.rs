@@ -129,6 +129,47 @@ fn run_many_parallel_matches_jobs_one_for_flows_and_fleet() {
 }
 
 #[test]
+fn attack_surface_is_byte_identical_across_jobs_shards_and_batch_runners() {
+    // The surface sweep's determinism contract, end to end: the same grid
+    // produces byte-for-byte identical artifacts whether the cells run
+    // sequentially, on a thread pool, under a (no-op) shard hint, or inside
+    // a parallel run_many batch.
+    let base = RunConfig {
+        surface_trials: 24,
+        surface_delay_steps: 4,
+        jitter_us: 300,
+        fleet_jobs: 1,
+        ..RunConfig::default()
+    };
+    let ids = [ExperimentId::AttackSurface];
+    let sequential = run_many(&ids, &[base], 1);
+    for variant in [
+        RunConfig { fleet_jobs: 4, ..base },
+        RunConfig { fleet_jobs: 0, ..base },
+        RunConfig { fleet_shards: 8, ..base },
+    ] {
+        let parallel = run_many(&ids, &[variant], 4);
+        assert_eq!(sequential[0].data, parallel[0].data);
+        assert_eq!(sequential[0].render_text(), parallel[0].render_text());
+        assert_eq!(
+            sequential[0].data.to_json().to_string(),
+            parallel[0].data.to_json().to_string()
+        );
+    }
+    // The acceptance property holds on the emitted grid: success never rises
+    // with reaction delay or defense adoption.
+    let result = sequential[0].data.as_attack_surface().expect("surface artifact");
+    for vector in &result.vectors {
+        for pair in vector.success_vs_delay.windows(2) {
+            assert!(pair[1].successes <= pair[0].successes);
+        }
+        for pair in vector.infection_vs_adoption.windows(2) {
+            assert!(pair[1].successes <= pair[0].successes);
+        }
+    }
+}
+
+#[test]
 fn trace_summary_is_byte_identical_across_recorder_modes() {
     // The TraceSummary describes the workload, not the recorder: the same
     // café run must produce bit-for-bit equal counters whether the trace

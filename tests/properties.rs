@@ -177,6 +177,12 @@ proptest! {
         fleet_churn_millis in 0u64..1_000,
         fleet_hetero_pick in 0u8..2,
         global_event_budget in 0u64..100_000_000,
+        surface_trials in 1usize..100_000,
+        surface_delay_start_us in 0u64..1_000_000,
+        surface_delay_end_us in 0u64..1_000_000,
+        surface_delay_steps in 1usize..10_000,
+        surface_adoption_steps in 1usize..10_000,
+        surface_vectors in 0u8..16,
     ) {
         let fleet_hetero = fleet_hetero_pick == 1;
         let trace_mode = match trace_mode_pick {
@@ -190,6 +196,8 @@ proptest! {
             seed, scale, sites, crawl_sites, days, event_budget,
             trace_mode, jitter_us, fleet_clients, fleet_aps, fleet_shards, fleet_jobs,
             fleet_days, fleet_churn, fleet_hetero, global_event_budget,
+            surface_trials, surface_delay_start_us, surface_delay_end_us,
+            surface_delay_steps, surface_adoption_steps, surface_vectors,
         };
         let text = config.to_json().to_string();
         let parsed = Json::parse(&text).expect("config JSON parses");
