@@ -5,11 +5,16 @@
 //! paper-report --json --jobs 8         # machine-readable, parallel
 //! paper-report --only table1,fig3      # a subset of the artefacts
 //! paper-report --seed 7 --scale 500    # tweak the run configuration
+//! paper-report serve --socket /tmp/mp.sock          # service daemon
+//! paper-report submit --socket /tmp/mp.sock \
+//!     --only campaign_fleet --fleet-days 5 --watch  # stream a campaign
 //! ```
 
 use mp_bench::{render_report, report_json, try_run_selected};
+use mp_service::{Client, Daemon, Endpoint, Request, Response, RunOutcome, ServeOptions};
 use parasite::experiments::{
-    run_campaign_with_checkpoint, Artifact, ArtifactData, ExperimentId, RunConfig, SurfaceVector,
+    run_campaign_with_checkpoint, Artifact, ArtifactData, DayStats, ExperimentId, RunConfig,
+    SurfaceVector,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -19,6 +24,29 @@ paper-report: regenerate the tables and figures of The Master and Parasite Attac
 
 USAGE:
     paper-report [OPTIONS]
+    paper-report <SUBCOMMAND> --socket <path> [OPTIONS]
+
+SUBCOMMANDS (service mode, newline-JSON protocol; see PROTOCOL.md):
+    serve                 start the campaign service daemon on --socket (and
+                          optionally --tcp), serving concurrent submissions
+                          until a client sends shutdown
+    submit                submit one experiment (exactly one --only id, with
+                          any of the batch configuration flags below) to a
+                          running daemon; --watch streams its days
+    status                list the daemon's runs (or one with --run <n>)
+    watch                 replay and follow one run's day stream (--run <n>)
+    cancel                cooperatively cancel a run (--run <n>); a multi-day
+                          campaign stops at the next day boundary, leaving a
+                          resumable checkpoint
+    shutdown              cancel everything and stop the daemon
+
+SERVICE OPTIONS:
+    --socket <path>       unix socket the daemon binds / clients dial
+    --tcp <addr>          TCP address (serve: extra listener; clients: dial
+                          this instead of the unix socket)
+    --serve-workers <n>   serve: concurrent runs executed at once [default: 2]
+    --run <n>             status/watch/cancel: the run id
+    --watch               submit: stay connected and stream day/done lines
 
 OPTIONS:
     --only <ids>          run only these experiments (comma-separated ids,
@@ -50,6 +78,12 @@ OPTIONS:
     --fleet-hetero        campaign_fleet: draw per-AP latency/jitter/attacker
                           reaction and client weights from seeded
                           distributions instead of the uniform paper timing
+    --fleet-visit-prob <f>
+                          campaign_fleet: mean daily probability that a seat
+                          visits its cafe during a multi-day campaign, in
+                          (0, 1]; per-seat probabilities are drawn from a
+                          seeded triangular distribution around it. 1 keeps
+                          the classic everyone-visits model [default: 1]
     --fleet-checkpoint <path>
                           write a resumable JSON checkpoint after every
                           completed campaign day; if <path> exists the
@@ -69,6 +103,11 @@ OPTIONS:
     --surface-adoption <steps>
                           attack_surface: number of defense-adoption points
                           over [0, 1] [default: 5]
+    --surface-wan <start:end:steps>
+                          attack_surface: WAN one-way server latency axis in
+                          microseconds (the paper's fixed point is 40000);
+                          every (vector, delay, wan, adoption) cell gets its
+                          own collision-free seed [default: 40000:40000:1]
     --surface-trials <n>  attack_surface: seeded race trials per grid cell
                           [default: 200]
 
@@ -101,6 +140,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut shared_extension_flags: Vec<&'static str> = Vec::new();
     let mut surface_only_flags: Vec<&'static str> = Vec::new();
     let mut churn_set = false;
+    let mut visit_prob_set = false;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -204,6 +244,19 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 config.fleet_hetero = true;
                 fleet_only_flags.push("--fleet-hetero");
             }
+            "--fleet-visit-prob" => {
+                let text = value_for("--fleet-visit-prob")?;
+                config.fleet_visit_prob = text.parse::<f64>().map_err(|_| {
+                    format!("--fleet-visit-prob: expected a probability, got {text:?}")
+                })?;
+                if !(0.0..=1.0).contains(&config.fleet_visit_prob)
+                    || config.fleet_visit_prob == 0.0
+                {
+                    return Err("--fleet-visit-prob must be in (0, 1]".to_string());
+                }
+                fleet_only_flags.push("--fleet-visit-prob");
+                visit_prob_set = true;
+            }
             "--fleet-checkpoint" => {
                 checkpoint = Some(PathBuf::from(value_for("--fleet-checkpoint")?));
             }
@@ -249,6 +302,29 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 }
                 surface_only_flags.push("--surface-adoption");
             }
+            "--surface-wan" => {
+                let text = value_for("--surface-wan")?;
+                let parts: Vec<&str> = text.split(':').collect();
+                let [start, end, steps] = parts.as_slice() else {
+                    return Err(format!(
+                        "--surface-wan: expected <start:end:steps>, got {text:?}"
+                    ));
+                };
+                config.surface_wan_start_us = parse_number(start, "--surface-wan")?;
+                config.surface_wan_end_us = parse_number(end, "--surface-wan")?;
+                config.surface_wan_steps = usize::try_from(parse_number(steps, "--surface-wan")?)
+                    .map_err(|_| "--surface-wan: steps out of range".to_string())?;
+                if config.surface_wan_steps == 0 {
+                    return Err("--surface-wan: steps must be at least 1".to_string());
+                }
+                if config.surface_wan_start_us > config.surface_wan_end_us {
+                    return Err(format!(
+                        "--surface-wan: range is inverted: [{}, {}]",
+                        config.surface_wan_start_us, config.surface_wan_end_us
+                    ));
+                }
+                surface_only_flags.push("--surface-wan");
+            }
             "--surface-trials" => {
                 config.surface_trials =
                     usize::try_from(parse_number(&value_for("--surface-trials")?, "--surface-trials")?)
@@ -274,6 +350,19 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return Ok(None);
+            }
+            "--socket" | "--tcp" | "--serve-workers" => {
+                return Err(format!(
+                    "{arg} configures the service daemon; use a subcommand: \
+                     paper-report serve|submit|status|watch|cancel|shutdown \
+                     --socket <path>"
+                ));
+            }
+            "--watch" | "--run" => {
+                return Err(format!(
+                    "{arg} is a service client flag; use it with a subcommand, \
+                     e.g. paper-report watch --socket <path> --run <n>"
+                ));
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -318,6 +407,13 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 .to_string(),
         );
     }
+    if visit_prob_set && config.fleet_days < 2 {
+        return Err(
+            "--fleet-visit-prob only affects a multi-day campaign; set \
+             --fleet-days to 2 or more"
+                .to_string(),
+        );
+    }
     if checkpoint.is_some() {
         // A checkpointed campaign is a dedicated operation: it must not
         // silently switch a single-snapshot run onto the churn model, and it
@@ -348,7 +444,22 @@ fn parse_number(text: &str, flag: &str) -> Result<u64, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let options = match parse_args(&args) {
+    // Service mode: a leading subcommand word routes to the daemon / client
+    // paths; everything else is the classic batch report.
+    match args.first().map(String::as_str) {
+        Some("serve") => return service::serve(&args[1..]),
+        Some("submit") => return service::submit(&args[1..]),
+        Some("status") => return service::status(&args[1..]),
+        Some("watch") => return service::watch(&args[1..]),
+        Some("cancel") => return service::cancel(&args[1..]),
+        Some("shutdown") => return service::shutdown(&args[1..]),
+        _ => {}
+    }
+    batch(&args)
+}
+
+fn batch(args: &[String]) -> ExitCode {
+    let options = match parse_args(args) {
         Ok(Some(options)) => options,
         Ok(None) => return ExitCode::SUCCESS,
         Err(message) => {
@@ -396,5 +507,416 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// The service-mode subcommands: `serve` runs the daemon in the foreground;
+/// `submit`/`status`/`watch`/`cancel`/`shutdown` are protocol clients. With
+/// `--json` the clients print the daemon's response lines verbatim, so shell
+/// pipelines (and the CI smoke job) consume the raw protocol.
+mod service {
+    use super::*;
+
+    /// Flags shared by every subcommand, plus the leftover (batch
+    /// configuration) arguments that `submit` forwards to `parse_args`.
+    struct ServiceArgs {
+        socket: Option<PathBuf>,
+        tcp: Option<String>,
+        run: Option<u64>,
+        watch: bool,
+        json: bool,
+        workers: usize,
+        rest: Vec<String>,
+    }
+
+    fn parse_service(args: &[String]) -> Result<ServiceArgs, String> {
+        let mut parsed = ServiceArgs {
+            socket: None,
+            tcp: None,
+            run: None,
+            watch: false,
+            json: false,
+            workers: 2,
+            rest: Vec::new(),
+        };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let mut value_for = |flag: &str| {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match arg.as_str() {
+                "--socket" => parsed.socket = Some(PathBuf::from(value_for("--socket")?)),
+                "--tcp" => parsed.tcp = Some(value_for("--tcp")?),
+                "--run" => parsed.run = Some(parse_number(&value_for("--run")?, "--run")?),
+                "--watch" => parsed.watch = true,
+                "--json" => parsed.json = true,
+                "--serve-workers" => {
+                    parsed.workers =
+                        usize::try_from(parse_number(&value_for("--serve-workers")?, "--serve-workers")?)
+                            .map_err(|_| "--serve-workers is out of range".to_string())?;
+                    if parsed.workers == 0 {
+                        return Err("--serve-workers must be at least 1".to_string());
+                    }
+                }
+                other => parsed.rest.push(other.to_string()),
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The endpoint a client subcommand dials: `--tcp` wins, else `--socket`.
+    fn endpoint(parsed: &ServiceArgs, command: &str) -> Result<Endpoint, String> {
+        match (&parsed.tcp, &parsed.socket) {
+            (Some(addr), _) => Ok(Endpoint::Tcp(addr.clone())),
+            (None, Some(path)) => Ok(Endpoint::Unix(path.clone())),
+            (None, None) => Err(format!(
+                "{command} needs the daemon's address; pass --socket <path> \
+                 (or --tcp <addr>)"
+            )),
+        }
+    }
+
+    fn usage_error(message: &str) -> ExitCode {
+        eprintln!("error: {message}\n");
+        eprint!("{USAGE}");
+        ExitCode::from(2)
+    }
+
+    fn connect(endpoint: &Endpoint) -> Result<Client, ExitCode> {
+        Client::connect(endpoint).map_err(|error| {
+            let (shown, hint) = match endpoint {
+                Endpoint::Unix(path) => (
+                    path.display().to_string(),
+                    format!("paper-report serve --socket {}", path.display()),
+                ),
+                Endpoint::Tcp(addr) => (
+                    addr.clone(),
+                    format!("paper-report serve --socket <path> --tcp {addr}"),
+                ),
+            };
+            eprintln!(
+                "error: cannot connect to the daemon at {shown}: {error}\n\
+                 is the daemon running? start one with: {hint}"
+            );
+            ExitCode::from(2)
+        })
+    }
+
+    pub fn serve(args: &[String]) -> ExitCode {
+        let parsed = match parse_service(args) {
+            Ok(parsed) => parsed,
+            Err(message) => return usage_error(&message),
+        };
+        let Some(socket) = parsed.socket.clone() else {
+            return usage_error("serve requires --socket <path>");
+        };
+        let mut global_event_budget = 0u64;
+        // serve accepts one batch flag: the daemon-wide --global-event-budget
+        // pool for submissions that do not bring their own.
+        let mut iter = parsed.rest.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--global-event-budget" => {
+                    let Some(value) = iter.next() else {
+                        return usage_error("--global-event-budget requires a value");
+                    };
+                    global_event_budget = match parse_number(value, "--global-event-budget") {
+                        Ok(value) => value,
+                        Err(message) => return usage_error(&message),
+                    };
+                }
+                other => {
+                    return usage_error(&format!(
+                        "unknown serve argument {other:?}; run configuration \
+                         belongs to submit, not serve"
+                    ));
+                }
+            }
+        }
+        let options = ServeOptions {
+            socket: socket.clone(),
+            tcp: parsed.tcp.clone(),
+            workers: parsed.workers,
+            global_event_budget,
+        };
+        let daemon = match Daemon::start(options) {
+            Ok(daemon) => daemon,
+            Err(error) => {
+                eprintln!(
+                    "error: cannot start the daemon on {}: {error}\n\
+                     (a stale socket file from an unclean shutdown must be \
+                     removed by hand)",
+                    socket.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        match daemon.tcp_addr() {
+            Some(addr) => eprintln!(
+                "campaign service daemon listening on {} and {addr}",
+                socket.display()
+            ),
+            None => eprintln!("campaign service daemon listening on {}", socket.display()),
+        }
+        match daemon.wait() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(error) => {
+                eprintln!("error: daemon shutdown failed: {error}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+
+    pub fn submit(args: &[String]) -> ExitCode {
+        let parsed = match parse_service(args) {
+            Ok(parsed) => parsed,
+            Err(message) => return usage_error(&message),
+        };
+        let endpoint = match endpoint(&parsed, "submit") {
+            Ok(endpoint) => endpoint,
+            Err(message) => return usage_error(&message),
+        };
+        if parsed.rest.iter().any(|arg| arg == "--jobs") {
+            return usage_error(
+                "--jobs schedules a batch sweep; the daemon runs one \
+                 experiment per submission (tune --serve-workers on serve)",
+            );
+        }
+        let options = match parse_args(&parsed.rest) {
+            Ok(Some(options)) => options,
+            Ok(None) => return ExitCode::SUCCESS,
+            Err(message) => return usage_error(&message),
+        };
+        let [experiment] = options.ids.as_slice() else {
+            return usage_error(
+                "submit runs exactly one experiment; pass a single id, e.g. \
+                 --only campaign_fleet",
+            );
+        };
+        let mut client = match connect(&endpoint) {
+            Ok(client) => client,
+            Err(code) => return code,
+        };
+        let request = Request::Submit {
+            experiment: *experiment,
+            config: Box::new(options.config),
+            checkpoint: options.checkpoint.clone(),
+            watch: parsed.watch,
+        };
+        let json = parsed.json || options.json;
+        match client.request(&request) {
+            Ok(Response::Accepted { run, experiment }) => {
+                if json {
+                    println!(
+                        "{}",
+                        Response::Accepted { run, experiment }.to_json()
+                    );
+                } else {
+                    println!("run {run} accepted ({experiment})");
+                }
+                if parsed.watch {
+                    stream(&mut client, json)
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Ok(Response::Error { message }) => {
+                eprintln!("error: daemon rejected the submission: {message}");
+                ExitCode::FAILURE
+            }
+            Ok(other) => {
+                eprintln!("error: unexpected response: {}", other.to_json());
+                ExitCode::FAILURE
+            }
+            Err(error) => {
+                eprintln!("error: {error}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+
+    pub fn status(args: &[String]) -> ExitCode {
+        with_client(args, "status", |parsed, client| {
+            match client.request(&Request::Status { run: parsed.run }) {
+                Ok(Response::Status { runs }) => {
+                    if parsed.json {
+                        println!("{}", Response::Status { runs }.to_json());
+                    } else if runs.is_empty() {
+                        println!("no runs");
+                    } else {
+                        println!("{:<6} {:<16} {:<8} {:>5}  outcome", "run", "experiment", "state", "days");
+                        for row in runs {
+                            println!(
+                                "{:<6} {:<16} {:<8} {:>5}  {}",
+                                row.run,
+                                row.experiment.as_str(),
+                                row.state.as_str(),
+                                row.days,
+                                row.outcome.as_deref().unwrap_or("-")
+                            );
+                        }
+                    }
+                    ExitCode::SUCCESS
+                }
+                Ok(Response::Error { message }) => {
+                    eprintln!("error: {message}");
+                    ExitCode::FAILURE
+                }
+                other => unexpected(other),
+            }
+        })
+    }
+
+    pub fn watch(args: &[String]) -> ExitCode {
+        with_client(args, "watch", |parsed, client| {
+            let Some(run) = parsed.run else {
+                return usage_error("watch requires --run <n>");
+            };
+            match client.send(&Request::Watch { run }) {
+                Ok(()) => stream(client, parsed.json),
+                Err(error) => {
+                    eprintln!("error: {error}");
+                    ExitCode::FAILURE
+                }
+            }
+        })
+    }
+
+    pub fn cancel(args: &[String]) -> ExitCode {
+        with_client(args, "cancel", |parsed, client| {
+            let Some(run) = parsed.run else {
+                return usage_error("cancel requires --run <n>");
+            };
+            match client.request(&Request::Cancel { run }) {
+                Ok(Response::Cancelling { run }) => {
+                    if parsed.json {
+                        println!("{}", Response::Cancelling { run }.to_json());
+                    } else {
+                        println!(
+                            "run {run} cancelling (stops at its next day \
+                             boundary; any checkpoint stays resumable)"
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Ok(Response::Error { message }) => {
+                    eprintln!("error: {message}");
+                    ExitCode::FAILURE
+                }
+                other => unexpected(other),
+            }
+        })
+    }
+
+    pub fn shutdown(args: &[String]) -> ExitCode {
+        with_client(args, "shutdown", |parsed, client| {
+            match client.request(&Request::Shutdown) {
+                Ok(Response::ShuttingDown { active_runs }) => {
+                    if parsed.json {
+                        println!("{}", Response::ShuttingDown { active_runs }.to_json());
+                    } else {
+                        println!("daemon shutting down ({active_runs} active run(s) cancelled)");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Ok(Response::Error { message }) => {
+                    eprintln!("error: {message}");
+                    ExitCode::FAILURE
+                }
+                other => unexpected(other),
+            }
+        })
+    }
+
+    /// Parses service flags, rejects stray arguments, connects, and hands
+    /// the client to `body` — the shared scaffolding of the pure-client
+    /// subcommands.
+    fn with_client(
+        args: &[String],
+        command: &str,
+        body: impl FnOnce(&ServiceArgs, &mut Client) -> ExitCode,
+    ) -> ExitCode {
+        let parsed = match parse_service(args) {
+            Ok(parsed) => parsed,
+            Err(message) => return usage_error(&message),
+        };
+        if let Some(stray) = parsed.rest.first() {
+            return usage_error(&format!("unknown {command} argument {stray:?}"));
+        }
+        let endpoint = match endpoint(&parsed, command) {
+            Ok(endpoint) => endpoint,
+            Err(message) => return usage_error(&message),
+        };
+        match connect(&endpoint) {
+            Ok(mut client) => body(&parsed, &mut client),
+            Err(code) => code,
+        }
+    }
+
+    fn unexpected(response: Result<Response, mp_service::ClientError>) -> ExitCode {
+        match response {
+            Ok(response) => eprintln!("error: unexpected response: {}", response.to_json()),
+            Err(error) => eprintln!("error: {error}"),
+        }
+        ExitCode::FAILURE
+    }
+
+    /// Follows a day/done stream to its end; the process exit code reflects
+    /// the run's outcome (`failed` exits 1).
+    fn stream(client: &mut Client, json: bool) -> ExitCode {
+        loop {
+            match client.read_response() {
+                Ok(Response::Day { run, stats }) => {
+                    if json {
+                        println!("{}", Response::Day { run, stats }.to_json());
+                    } else {
+                        print_day(&stats);
+                    }
+                }
+                Ok(Response::Done { run, outcome }) => {
+                    if json {
+                        println!("{}", Response::Done { run, outcome: outcome.clone() }.to_json());
+                    } else {
+                        match &outcome {
+                            RunOutcome::Ok { .. } => println!("run {run} done: ok"),
+                            RunOutcome::Cancelled { days_completed } => println!(
+                                "run {run} cancelled after {days_completed} completed day(s)"
+                            ),
+                            RunOutcome::Failed { message } => {
+                                println!("run {run} failed: {message}")
+                            }
+                        }
+                    }
+                    return match outcome {
+                        RunOutcome::Failed { .. } => ExitCode::FAILURE,
+                        _ => ExitCode::SUCCESS,
+                    };
+                }
+                Ok(Response::Error { message }) => {
+                    eprintln!("error: {message}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(other) => return unexpected(Ok(other)),
+                Err(error) => {
+                    eprintln!("error: {error}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    fn print_day(stats: &DayStats) {
+        println!(
+            "day {:>3}: exposed {:>6}  newly infected {:>6}  infected {:>7}  \
+             clean {:>7}  events {}",
+            stats.day,
+            stats.exposed,
+            stats.newly_infected,
+            stats.infected,
+            stats.clean,
+            stats.events
+        );
     }
 }

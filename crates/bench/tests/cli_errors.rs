@@ -77,6 +77,67 @@ fn malformed_surface_axes_are_rejected() {
         &[&surface[..], &["--surface-vectors", "race_vs_nothing"]].concat(),
         "unknown attack vector",
     );
+    // The WAN-latency axis follows the same contract as the delay axis.
+    assert_rejected(&[&surface[..], &["--surface-wan", "9000:3000:2"]].concat(), "inverted");
+    assert_rejected(&[&surface[..], &["--surface-wan", "9000-3000-2"]].concat(), "start:end:steps");
+    assert_rejected(&[&surface[..], &["--surface-wan", "3000:9000:0"]].concat(), "at least 1");
+    assert_rejected(&["--surface-wan", "3000:9000:2"], "--only attack_surface");
+}
+
+#[test]
+fn visit_probability_needs_a_multiday_campaign() {
+    // Outside [0, 1] (and exactly 0, which would freeze the campaign).
+    let fleet = ["--only", "campaign_fleet", "--fleet-days", "5"];
+    assert_rejected(&[&fleet[..], &["--fleet-visit-prob", "1.5"]].concat(), "(0, 1]");
+    assert_rejected(&[&fleet[..], &["--fleet-visit-prob", "0"]].concat(), "(0, 1]");
+    // Inert without the multi-day loop, or without the campaign at all.
+    assert_rejected(
+        &["--only", "campaign_fleet", "--fleet-visit-prob", "0.5"],
+        "--fleet-days",
+    );
+    assert_rejected(&["--fleet-visit-prob", "0.5"], "--only campaign_fleet");
+}
+
+#[test]
+fn service_flags_outside_a_subcommand_are_rejected() {
+    // Service flags mean nothing in batch mode; point at the subcommands
+    // instead of ignoring them.
+    assert_rejected(&["--socket", "/tmp/mp.sock"], "use a subcommand");
+    assert_rejected(&["--tcp", "127.0.0.1:7071"], "use a subcommand");
+    assert_rejected(&["--serve-workers", "4"], "use a subcommand");
+    assert_rejected(&["--watch"], "service client flag");
+    assert_rejected(&["--run", "3"], "service client flag");
+}
+
+#[test]
+fn service_subcommand_usage_errors_are_pointed() {
+    assert_rejected(&["serve"], "--socket");
+    assert_rejected(&["serve", "--socket", "/tmp/x.sock", "--fleet-days", "5"], "submit");
+    assert_rejected(&["submit"], "--socket");
+    assert_rejected(&["status"], "--socket");
+    assert_rejected(&["watch", "--socket", "/tmp/x.sock", "--bogus"], "--bogus");
+    assert_rejected(
+        &["submit", "--socket", "/tmp/x.sock", "--only", "fig1", "--jobs", "4"],
+        "--serve-workers",
+    );
+    assert_rejected(
+        &["submit", "--socket", "/tmp/x.sock", "--only", "fig1,fig2"],
+        "exactly one experiment",
+    );
+}
+
+#[test]
+fn client_subcommands_without_a_daemon_exit_2_with_a_hint() {
+    let socket = std::env::temp_dir()
+        .join(format!("mp-cli-no-daemon-{}.sock", std::process::id()));
+    let socket = socket.to_str().expect("utf-8 temp path");
+    // No daemon is listening: every client subcommand fails to connect with
+    // exit 2 and points at how to start one.
+    assert_rejected(&["submit", "--socket", socket, "--only", "fig1"], "is the daemon running?");
+    assert_rejected(&["status", "--socket", socket], "paper-report serve --socket");
+    assert_rejected(&["watch", "--socket", socket, "--run", "1"], "is the daemon running?");
+    assert_rejected(&["cancel", "--socket", socket, "--run", "1"], "is the daemon running?");
+    assert_rejected(&["shutdown", "--socket", socket], "is the daemon running?");
 }
 
 #[test]

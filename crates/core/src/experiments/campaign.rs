@@ -457,6 +457,8 @@ pub(super) fn campaign_fleet(
     // One shared budget pool (when requested) spans every shard of the sweep.
     let shard_ctx = RunCtx {
         shared_budget: ctx.budget_for(config),
+        cancel: ctx.cancel.clone(),
+        day_sink: None,
     };
     let outcomes = parallel_tasks(&shard_configs, jobs, |shard| {
         experiment.try_run_ctx(shard, &shard_ctx)
@@ -640,29 +642,35 @@ mod tests {
         // The splitmix-derived streams must be pairwise disjoint for any
         // realistic campaign: shard seeds (SHARD_TAG stream), per-AP seeds
         // (untagged stream), heterogeneity profile seeds (PROFILE_TAG
-        // stream), and the attack-surface grid streams (SURFACE_TAG for the
-        // per-cell race worlds, ADOPT_TAG for the adoption draws), across
-        // several campaign seeds. The old additive offsets collided as soon
-        // as offsets overlapped; hashed streams do not.
+        // stream), the per-seat visit-habit stream (VISIT_TAG), and the
+        // attack-surface grid streams (SURFACE_TAG for the per-cell race
+        // worlds, ADOPT_TAG for the adoption draws), across several campaign
+        // seeds. The old additive offsets collided as soon as offsets
+        // overlapped; hashed streams do not.
+        use super::super::multiday::VISIT_TAG;
         use super::super::surface::{cell_tag, ADOPT_TAG, SURFACE_TAG};
         let mut seen = HashSet::new();
         let mut expected = 0usize;
         for campaign_seed in [0u64, 1, 2021, u64::MAX] {
+            seen.insert(mix_seed(campaign_seed, VISIT_TAG));
+            expected += 1;
             for index in 0..512u64 {
                 seen.insert(mix_seed(campaign_seed, SHARD_TAG ^ index));
                 seen.insert(mix_seed(campaign_seed, index));
                 seen.insert(mix_seed(campaign_seed, PROFILE_TAG ^ index));
                 expected += 3;
             }
-            // Surface grid cells use packed (vector, delay, jitter)
+            // Surface grid cells use packed (vector, delay, wan, jitter)
             // coordinates; sweep a grid larger than any realistic run.
             for vector in 0..4usize {
                 for delay in 0..16usize {
-                    for jitter in 0..2usize {
-                        let tag = cell_tag(vector, delay, jitter);
-                        seen.insert(mix_seed(campaign_seed, SURFACE_TAG ^ tag));
-                        seen.insert(mix_seed(campaign_seed, ADOPT_TAG ^ tag));
-                        expected += 2;
+                    for wan in 0..4usize {
+                        for jitter in 0..2usize {
+                            let tag = cell_tag(vector, delay, wan, jitter);
+                            seen.insert(mix_seed(campaign_seed, SURFACE_TAG ^ tag));
+                            seen.insert(mix_seed(campaign_seed, ADOPT_TAG ^ tag));
+                            expected += 2;
+                        }
                     }
                 }
             }

@@ -30,7 +30,9 @@ mod surface;
 mod tables;
 
 pub use campaign::{ApProfile, CampaignFleetResult};
-pub use multiday::{run_campaign_with_checkpoint, DayStats};
+pub use multiday::{
+    run_campaign_with_checkpoint, run_campaign_with_checkpoint_ctx, DayStats,
+};
 pub use surface::{CurvePoint, SurfaceResult, SurfaceVector, VectorSurface};
 pub use figures::{AblationResult, Fig3Result, Fig4Result, Fig5Result, FlowTrace};
 pub use tables::{
@@ -273,6 +275,14 @@ pub struct RunConfig {
     /// uniform Figure 2 timing. Off by default so the classic fleet artifact
     /// stays byte-identical.
     pub fleet_hetero: bool,
+    /// Mean daily-visit probability for the multi-day campaign's seats. At
+    /// `1.0` (the default) every clean seat browses through the hostile AP
+    /// every day — the classic behaviour, byte-identical trajectories. Below
+    /// `1.0`, each seat draws a personal visit probability once per campaign
+    /// from a seeded [`mp_netsim::dist::Dist`] stream (disjoint from the
+    /// churn/heterogeneity streams, so it composes with `fleet_hetero`), and
+    /// each day a clean seat is exposed only if its daily visit draw lands.
+    pub fleet_visit_prob: f64,
     /// Global event budget shared across *every* simulator of a run (all APs,
     /// shards and days of a campaign; all packet-level experiments of a
     /// budgeted sweep). `0` (the default) disables the global budget; when
@@ -294,6 +304,15 @@ pub struct RunConfig {
     pub surface_delay_steps: usize,
     /// Number of evenly spaced defense-adoption fractions swept over `[0, 1]`.
     pub surface_adoption_steps: usize,
+    /// First WAN one-way latency of the attack-surface sweep, microseconds.
+    /// The default WAN axis is the single paper operating point (40 ms), so
+    /// the classic surface artifact keeps its exact grid.
+    pub surface_wan_start_us: u64,
+    /// Last WAN one-way latency of the attack-surface sweep, microseconds.
+    pub surface_wan_end_us: u64,
+    /// Number of evenly spaced WAN latencies swept over
+    /// `[surface_wan_start_us, surface_wan_end_us]`.
+    pub surface_wan_steps: usize,
     /// Bitmask selecting the attack vectors of the surface sweep, bit *i*
     /// enabling `SurfaceVector::ALL[i]`; `0` (the default) sweeps all of
     /// them. Built from names by [`SurfaceVector::parse_mask`].
@@ -318,12 +337,16 @@ impl Default for RunConfig {
             fleet_days: 1,
             fleet_churn: 0.0,
             fleet_hetero: false,
+            fleet_visit_prob: 1.0,
             global_event_budget: 0,
             surface_trials: 200,
             surface_delay_start_us: 300,
             surface_delay_end_us: 160_000,
             surface_delay_steps: 8,
             surface_adoption_steps: 5,
+            surface_wan_start_us: 40_000,
+            surface_wan_end_us: 40_000,
+            surface_wan_steps: 1,
             surface_vectors: 0,
         }
     }
@@ -370,6 +393,12 @@ impl RunConfig {
             })?,
             fleet_churn: field(json, "fleet_churn", defaults.fleet_churn, Json::as_f64)?,
             fleet_hetero: field(json, "fleet_hetero", defaults.fleet_hetero, Json::as_bool)?,
+            fleet_visit_prob: field(
+                json,
+                "fleet_visit_prob",
+                defaults.fleet_visit_prob,
+                Json::as_f64,
+            )?,
             global_event_budget: field(
                 json,
                 "global_event_budget",
@@ -403,6 +432,21 @@ impl RunConfig {
                 defaults.surface_adoption_steps,
                 |v| v.as_u64().map(|n| n as usize),
             )?,
+            surface_wan_start_us: field(
+                json,
+                "surface_wan_start_us",
+                defaults.surface_wan_start_us,
+                Json::as_u64,
+            )?,
+            surface_wan_end_us: field(
+                json,
+                "surface_wan_end_us",
+                defaults.surface_wan_end_us,
+                Json::as_u64,
+            )?,
+            surface_wan_steps: field(json, "surface_wan_steps", defaults.surface_wan_steps, |v| {
+                v.as_u64().map(|n| n as usize)
+            })?,
             surface_vectors: field(json, "surface_vectors", defaults.surface_vectors, |v| {
                 v.as_u64().map(|n| n as u8)
             })?,
@@ -439,6 +483,9 @@ impl ToJson for RunConfig {
         if self.fleet_hetero != defaults.fleet_hetero {
             pairs.push(("fleet_hetero", self.fleet_hetero.to_json()));
         }
+        if self.fleet_visit_prob != defaults.fleet_visit_prob {
+            pairs.push(("fleet_visit_prob", self.fleet_visit_prob.to_json()));
+        }
         if self.global_event_budget != defaults.global_event_budget {
             pairs.push(("global_event_budget", self.global_event_budget.to_json()));
         }
@@ -457,6 +504,15 @@ impl ToJson for RunConfig {
         if self.surface_adoption_steps != defaults.surface_adoption_steps {
             pairs.push(("surface_adoption_steps", self.surface_adoption_steps.to_json()));
         }
+        if self.surface_wan_start_us != defaults.surface_wan_start_us {
+            pairs.push(("surface_wan_start_us", self.surface_wan_start_us.to_json()));
+        }
+        if self.surface_wan_end_us != defaults.surface_wan_end_us {
+            pairs.push(("surface_wan_end_us", self.surface_wan_end_us.to_json()));
+        }
+        if self.surface_wan_steps != defaults.surface_wan_steps {
+            pairs.push(("surface_wan_steps", self.surface_wan_steps.to_json()));
+        }
         if self.surface_vectors != defaults.surface_vectors {
             pairs.push(("surface_vectors", u64::from(self.surface_vectors).to_json()));
         }
@@ -468,15 +524,78 @@ impl ToJson for RunConfig {
 // Run context
 // ---------------------------------------------------------------------------
 
+/// Cooperative cancellation handle threaded through [`RunCtx`]: any holder
+/// may [`CancelToken::cancel`], and long-running experiments poll
+/// [`CancelToken::is_cancelled`] at safe stopping points. The multi-day
+/// campaign checks it at every day boundary — a cancelled run stops after the
+/// current day's checkpoint is written, so the checkpoint stays valid and a
+/// resubmission resumes byte-identically (see
+/// [`ExperimentError::Cancelled`]). Cloning shares the flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; takes effect at the experiment's
+    /// next poll (for multi-day campaigns, the next day boundary).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Incremental per-day observer for multi-day campaigns: the day loop calls
+/// it after every completed day (and replays checkpoint-restored days on
+/// resume), letting a caller — the campaign service daemon, a progress bar —
+/// stream [`DayStats`] while the run is still going. The callback runs on the
+/// campaign's thread and must be cheap and non-blocking.
+#[derive(Clone)]
+pub struct DaySink(std::sync::Arc<dyn Fn(&DayStats) + Send + Sync>);
+
+impl DaySink {
+    /// Wraps a callback into a sink.
+    pub fn new(sink: impl Fn(&DayStats) + Send + Sync + 'static) -> DaySink {
+        DaySink(std::sync::Arc::new(sink))
+    }
+
+    /// Delivers one completed day to the observer.
+    pub fn emit(&self, stats: &DayStats) {
+        (self.0)(stats);
+    }
+}
+
+impl fmt::Debug for DaySink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("DaySink")
+    }
+}
+
 /// Cross-cutting execution state shared by every task of one run or sweep —
-/// currently the optional global [`SharedBudget`]. Unlike [`RunConfig`]
-/// (plain serialisable data, copied per task), the context carries live
-/// handles and is shared by reference across a whole sweep.
+/// the optional global [`SharedBudget`], the cooperative [`CancelToken`] and
+/// the optional per-day [`DaySink`]. Unlike [`RunConfig`] (plain serialisable
+/// data, copied per task), the context carries live handles and is shared by
+/// reference across a whole sweep.
 #[derive(Debug, Clone, Default)]
 pub struct RunCtx {
     /// Global event budget shared by every simulator the run builds, if the
     /// sweep requested one (see [`RunConfig::global_event_budget`]).
     pub shared_budget: Option<SharedBudget>,
+    /// Cooperative cancellation flag; default tokens are never cancelled, so
+    /// batch sweeps run to completion exactly as before.
+    pub cancel: CancelToken,
+    /// Observer for completed campaign days (the service daemon's streaming
+    /// hook); `None` for batch runs.
+    pub day_sink: Option<DaySink>,
 }
 
 impl RunCtx {
@@ -487,6 +606,7 @@ impl RunCtx {
         let budget = configs.iter().map(|c| c.global_event_budget).max().unwrap_or(0);
         RunCtx {
             shared_budget: (budget > 0).then(|| SharedBudget::new(budget)),
+            ..RunCtx::default()
         }
     }
 
@@ -526,6 +646,14 @@ pub enum ExperimentError {
     /// A multi-day campaign checkpoint could not be read, written or matched
     /// against the current configuration.
     Checkpoint(String),
+    /// The run was cooperatively cancelled via [`CancelToken::cancel`]. A
+    /// multi-day campaign stops at the next day boundary *after* writing its
+    /// per-day checkpoint, so `completed_days` days are durable and a
+    /// resubmission with the same checkpoint resumes byte-identically.
+    Cancelled {
+        /// Days that completed (and were checkpointed) before the stop.
+        completed_days: u32,
+    },
 }
 
 impl fmt::Display for ExperimentError {
@@ -535,6 +663,9 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Config(message) => write!(f, "invalid configuration: {message}"),
             ExperimentError::Panicked(message) => write!(f, "experiment panicked: {message}"),
             ExperimentError::Checkpoint(message) => write!(f, "campaign checkpoint: {message}"),
+            ExperimentError::Cancelled { completed_days } => {
+                write!(f, "run cancelled after {completed_days} completed day(s)")
+            }
         }
     }
 }
@@ -545,7 +676,8 @@ impl std::error::Error for ExperimentError {
             ExperimentError::Net(error) => Some(error),
             ExperimentError::Config(_)
             | ExperimentError::Panicked(_)
-            | ExperimentError::Checkpoint(_) => None,
+            | ExperimentError::Checkpoint(_)
+            | ExperimentError::Cancelled { .. } => None,
         }
     }
 }
@@ -978,12 +1110,16 @@ mod tests {
             fleet_days: 7,
             fleet_churn: 0.25,
             fleet_hetero: true,
+            fleet_visit_prob: 0.75,
             global_event_budget: 123_456,
             surface_trials: 64,
             surface_delay_start_us: 500,
             surface_delay_end_us: 90_000,
             surface_delay_steps: 4,
             surface_adoption_steps: 3,
+            surface_wan_start_us: 5_000,
+            surface_wan_end_us: 120_000,
+            surface_wan_steps: 3,
             surface_vectors: 0b0101,
         };
         let json = config.to_json();
@@ -996,12 +1132,16 @@ mod tests {
             "fleet_days",
             "fleet_churn",
             "fleet_hetero",
+            "fleet_visit_prob",
             "global_event_budget",
             "surface_trials",
             "surface_delay_start_us",
             "surface_delay_end_us",
             "surface_delay_steps",
             "surface_adoption_steps",
+            "surface_wan_start_us",
+            "surface_wan_end_us",
+            "surface_wan_steps",
             "surface_vectors",
         ] {
             assert!(!classic.contains(absent), "classic config JSON must omit {absent}");

@@ -33,6 +33,7 @@ use super::campaign::{
 };
 use super::{parallel_tasks, ExperimentError, RunConfig, RunCtx};
 use crate::json::{Json, ToJson};
+use mp_netsim::dist::Dist;
 use mp_netsim::error::NetError;
 use mp_netsim::sim::SharedBudget;
 use mp_webgen::{ChurningObject, StabilityClass};
@@ -48,6 +49,12 @@ const DAY_TAG: u64 = 0xda75_0000_0000_0000;
 
 /// Seed-stream tag for the target object's initial content hash.
 const TARGET_TAG: u64 = 0x7a26_e700_0000_0000;
+
+/// Seed-stream tag for the per-seat daily-visit probability draw
+/// (`fleet_visit_prob < 1`): one [`Dist::Triangular`] sample per seat,
+/// disjoint from the day/target/AP/profile/shard streams (collision-tested
+/// alongside them in the campaign module).
+pub(super) const VISIT_TAG: u64 = 0x7151_7000_0000_0000;
 
 /// Daily probability that an *infected* seat clears its browser cache (the
 /// only Table III refresh method that removes a Cache-API parasite). Kept
@@ -114,8 +121,11 @@ impl ToJson for DayStats {
 }
 
 impl DayStats {
-    /// Reads a day back from its [`ToJson`] form (checkpoint resume).
-    fn from_json(json: &Json) -> Option<DayStats> {
+    /// Reads a day back from its [`ToJson`] form. The [`ToJson`] output is
+    /// the per-day wire format shared by the checkpoint codec and the
+    /// service daemon's `day` stream messages, so clients (`mp_service`)
+    /// decode with this too.
+    pub fn from_json(json: &Json) -> Option<DayStats> {
         let usize_of = |key: &str| json.get(key).and_then(Json::as_u64).map(|n| n as usize);
         Some(DayStats {
             day: json.get("day").and_then(Json::as_u64)? as u32,
@@ -200,6 +210,12 @@ pub(super) fn run_multiday(
             config.fleet_churn
         )));
     }
+    if !(0.0..=1.0).contains(&config.fleet_visit_prob) {
+        return Err(ExperimentError::Config(format!(
+            "fleet_visit_prob must be a probability in [0, 1], got {}",
+            config.fleet_visit_prob
+        )));
+    }
     // Surface an overpacked fleet before day one instead of inside a worker.
     plan_ap_tasks(config, config.seed, config.fleet_clients)?;
 
@@ -209,12 +225,32 @@ pub(super) fn run_multiday(
         _ => CampaignState::fresh(config),
     };
     let shared = ctx.budget_for(config);
+    // Per-seat visit probabilities are a pure function of the campaign seed,
+    // so a resumed run recomputes the same habits it checkpointed under.
+    let visit_probs = seat_visit_probs(config);
+
+    // Replay checkpoint-restored days through the sink so a streaming
+    // watcher always sees the complete day series, resumed or not.
+    if let Some(sink) = &ctx.day_sink {
+        for day in &state.day_stats {
+            sink.emit(day);
+        }
+    }
 
     while state.day < days {
+        // Cooperative cancellation lands exactly on a day boundary: the
+        // checkpoint written after the last completed day stays valid, so a
+        // cancelled campaign resumes byte-identically.
+        if ctx.cancel.is_cancelled() {
+            return Err(ExperimentError::Cancelled { completed_days: state.day });
+        }
         let day = state.day + 1;
-        run_day(config, &mut state, day, shared.as_ref())?;
+        run_day(config, &mut state, day, shared.as_ref(), visit_probs.as_deref())?;
         if let Some(path) = checkpoint {
             write_checkpoint(path, config, &state)?;
+        }
+        if let Some(sink) = &ctx.day_sink {
+            sink.emit(state.day_stats.last().expect("day just completed"));
         }
     }
 
@@ -234,6 +270,34 @@ pub(super) fn run_multiday(
     })
 }
 
+/// Draws the per-seat daily-visit probabilities, or `None` at the default
+/// `fleet_visit_prob = 1.0` (every clean seat browses every day — the
+/// classic trajectory, byte-identical to pre-visit-model campaigns).
+///
+/// `fleet_visit_prob` is the *typical* (modal) habit; individual seats
+/// spread around it with a seeded [`Dist::Triangular`] draw in per-mille
+/// resolution — lo at half the mode, hi at 1.5× capped at certainty — so
+/// regulars and rare visitors coexist. The draw composes with
+/// `--fleet-hetero` (per-AP profiles) because the streams are disjoint:
+/// seats own *whether* they show up, APs own *how* the race plays out.
+fn seat_visit_probs(config: &RunConfig) -> Option<Vec<f64>> {
+    if config.fleet_visit_prob >= 1.0 {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(mix_seed(config.seed, VISIT_TAG));
+    let mode = (config.fleet_visit_prob * 1_000.0).round() as u64;
+    let dist = Dist::Triangular {
+        lo: mode / 2,
+        mode,
+        hi: (mode + mode / 2).min(1_000),
+    };
+    Some(
+        (0..config.fleet_clients)
+            .map(|_| dist.sample(&mut rng) as f64 / 1_000.0)
+            .collect(),
+    )
+}
+
 /// One AP's slice of a day's exposure sweep: the planned AP task plus the
 /// start offset of its clients within the day's exposed-seat list.
 struct DayApTask {
@@ -248,6 +312,7 @@ fn run_day(
     state: &mut CampaignState,
     day: u32,
     shared: Option<&SharedBudget>,
+    visit_probs: Option<&[f64]>,
 ) -> Result<(), ExperimentError> {
     let day_seed = mix_seed(config.seed, DAY_TAG ^ day as u64);
     let mut rng = StdRng::seed_from_u64(day_seed);
@@ -292,13 +357,19 @@ fn run_day(
         }
     }
 
-    // 4. Exposure: every clean seat browses through the hostile AP and goes
-    //    through the injection race. Infected seats serve from cache.
+    // 4. Exposure: every clean seat that visits today browses through the
+    //    hostile AP and goes through the injection race. Under the visit
+    //    model each clean seat first rolls its personal daily-visit habit
+    //    (one draw per clean seat, in seat order, from the day stream);
+    //    infected seats serve from cache and draw nothing — persistence
+    //    costs neither packets nor randomness.
     let exposed_seats: Vec<u32> = state
         .infected
         .iter()
         .enumerate()
-        .filter(|(_, &infected)| !infected)
+        .filter(|(seat, &infected)| {
+            !infected && visit_probs.is_none_or(|probs| rng.gen_bool(probs[*seat]))
+        })
         .map(|(seat, _)| seat as u32)
         .collect();
     let exposed = exposed_seats.len();
@@ -414,7 +485,22 @@ pub fn run_campaign_with_checkpoint(
     checkpoint: &Path,
 ) -> Result<CampaignFleetResult, ExperimentError> {
     let ctx = RunCtx::for_sweep(std::slice::from_ref(config));
-    run_multiday(config, &ctx, Some(checkpoint))
+    run_campaign_with_checkpoint_ctx(config, checkpoint, &ctx)
+}
+
+/// [`run_campaign_with_checkpoint`] with a caller-supplied execution
+/// context: the campaign service daemon routes its shared budget, the
+/// per-run cancel token and the per-day streaming sink through here. A
+/// cancelled run returns [`ExperimentError::Cancelled`] at the next day
+/// boundary, leaving the checkpoint of the last completed day on disk —
+/// resubmitting the same config against that checkpoint resumes
+/// byte-identically.
+pub fn run_campaign_with_checkpoint_ctx(
+    config: &RunConfig,
+    checkpoint: &Path,
+    ctx: &RunCtx,
+) -> Result<CampaignFleetResult, ExperimentError> {
+    run_multiday(config, ctx, Some(checkpoint))
 }
 
 /// The configuration fields a checkpoint pins. Anything that changes the
@@ -432,6 +518,7 @@ fn config_fingerprint(config: &RunConfig) -> Json {
         ("fleet_days", config.fleet_days.to_json()),
         ("fleet_churn", config.fleet_churn.to_json()),
         ("fleet_hetero", config.fleet_hetero.to_json()),
+        ("fleet_visit_prob", config.fleet_visit_prob.to_json()),
         ("jitter_us", config.jitter_us.to_json()),
         ("event_budget", config.event_budget.to_json()),
     ])
@@ -634,7 +721,7 @@ fn load_checkpoint(path: &Path, config: &RunConfig) -> Result<CampaignState, Exp
 
 #[cfg(test)]
 mod tests {
-    use super::super::{ExperimentId, Registry, RunConfig};
+    use super::super::{CancelToken, DaySink, ExperimentId, Registry, RunConfig};
     use super::*;
 
     fn churn_config() -> RunConfig {
@@ -774,7 +861,7 @@ mod tests {
             // fingerprint: drive run_multiday directly with an early horizon.
             let mut state = CampaignState::fresh(&config);
             for day in 1..=2 {
-                run_day(&config, &mut state, day, None).expect("day runs");
+                run_day(&config, &mut state, day, None, None).expect("day runs");
             }
             write_checkpoint(&snapshot_path, &config, &state).expect("snapshot written");
         }
@@ -814,7 +901,7 @@ mod tests {
         // Snapshot day 2 under the single-threaded config...
         let mut state = CampaignState::fresh(&config);
         for day in 1..=2 {
-            run_day(&config, &mut state, day, None).expect("day runs");
+            run_day(&config, &mut state, day, None, None).expect("day runs");
         }
         write_checkpoint(&path, &config, &state).expect("snapshot written");
 
@@ -848,10 +935,10 @@ mod tests {
 
         let config = churn_config();
         let mut one_day = CampaignState::fresh(&config);
-        run_day(&config, &mut one_day, 1, None).expect("day runs");
+        run_day(&config, &mut one_day, 1, None, None).expect("day runs");
         let mut two_days = CampaignState::fresh(&config);
         for day in 1..=2 {
-            run_day(&config, &mut two_days, day, None).expect("day runs");
+            run_day(&config, &mut two_days, day, None, None).expect("day runs");
         }
 
         std::thread::scope(|scope| {
@@ -900,6 +987,150 @@ mod tests {
             run_campaign_with_checkpoint(&churn_config(), &path),
             Err(ExperimentError::Checkpoint(_))
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn visit_probability_is_deterministic_and_reduces_exposure() {
+        let config = RunConfig { fleet_visit_prob: 0.4, ..churn_config() };
+        let first = Registry::get(ExperimentId::CampaignFleet).run(&config);
+        let second = Registry::get(ExperimentId::CampaignFleet).run(&config);
+        assert_eq!(first, second);
+        assert_eq!(first.to_json().to_string(), second.to_json().to_string());
+
+        // With a ~40% daily habit, day one races only the visiting subset —
+        // strictly fewer than the whole clean population, but not nobody.
+        let partial = first.data.as_campaign_fleet().expect("campaign artifact");
+        let full = Registry::get(ExperimentId::CampaignFleet).run(&churn_config());
+        let everyone = full.data.as_campaign_fleet().expect("campaign artifact");
+        assert_eq!(everyone.day_stats[0].exposed, 400);
+        assert!(partial.day_stats[0].exposed < 400);
+        assert!(partial.day_stats[0].exposed > 0);
+
+        // The draw composes with per-AP heterogeneity deterministically:
+        // the streams are disjoint, so turning hetero on does not reshuffle
+        // anything except through the simulated races themselves.
+        let hetero = RunConfig { fleet_hetero: true, ..config };
+        let drawn = Registry::get(ExperimentId::CampaignFleet).run(&hetero);
+        assert_eq!(drawn, Registry::get(ExperimentId::CampaignFleet).run(&hetero));
+
+        // An explicit 1.0 is the classic trajectory, byte for byte.
+        let certain = RunConfig { fleet_visit_prob: 1.0, ..churn_config() };
+        let classic = Registry::get(ExperimentId::CampaignFleet).run(&certain);
+        assert_eq!(classic.to_json().to_string(), full.to_json().to_string());
+    }
+
+    #[test]
+    fn invalid_visit_probability_is_a_config_error() {
+        for bad in [1.5, -0.1] {
+            let config = RunConfig { fleet_visit_prob: bad, ..churn_config() };
+            match Registry::get(ExperimentId::CampaignFleet).try_run(&config) {
+                Err(ExperimentError::Config(message)) => {
+                    assert!(message.contains("fleet_visit_prob"));
+                }
+                other => panic!("expected a config error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_campaign_resumes_byte_identically() {
+        // Cancel lands on a day boundary and leaves the last completed day's
+        // checkpoint; resubmitting the same config resumes to an artifact
+        // byte-identical to the uninterrupted reference run.
+        let dir = std::env::temp_dir().join(format!(
+            "mp-checkpoint-test-{}-cancel",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let reference_path = dir.join("reference.ckpt.json");
+        let path = dir.join("cancelled.ckpt.json");
+        let _ = std::fs::remove_file(&reference_path);
+        let _ = std::fs::remove_file(&path);
+
+        let config = churn_config();
+        let reference =
+            run_campaign_with_checkpoint(&config, &reference_path).expect("reference run");
+
+        // Cancel from inside the day sink after day 2 completes: the request
+        // is observed at the top of the day-3 iteration.
+        let cancel = CancelToken::new();
+        let trigger = cancel.clone();
+        let ctx = RunCtx {
+            day_sink: Some(DaySink::new(move |stats| {
+                if stats.day == 2 {
+                    trigger.cancel();
+                }
+            })),
+            cancel: cancel.clone(),
+            ..RunCtx::default()
+        };
+        match run_campaign_with_checkpoint_ctx(&config, &path, &ctx) {
+            Err(ExperimentError::Cancelled { completed_days }) => {
+                assert_eq!(completed_days, 2);
+            }
+            other => panic!("expected cancellation after day 2, got {other:?}"),
+        }
+
+        // The checkpoint left behind is the valid day-2 state...
+        let resumable = load_checkpoint(&path, &config).expect("valid checkpoint");
+        assert_eq!(resumable.day, 2);
+        // ...and a plain resubmission resumes byte-identically.
+        let resumed = run_campaign_with_checkpoint(&config, &path).expect("resumed run");
+        assert_eq!(resumed, reference);
+        assert_eq!(resumed.to_json().to_string(), reference.to_json().to_string());
+
+        // A token cancelled before day one stops the run before any work.
+        let _ = std::fs::remove_file(&path);
+        let stillborn = CancelToken::new();
+        stillborn.cancel();
+        let ctx = RunCtx { cancel: stillborn, ..RunCtx::default() };
+        match run_campaign_with_checkpoint_ctx(&config, &path, &ctx) {
+            Err(ExperimentError::Cancelled { completed_days: 0 }) => {}
+            other => panic!("expected immediate cancellation, got {other:?}"),
+        }
+        assert!(!path.exists(), "no checkpoint before the first completed day");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn day_sink_streams_every_day_and_replays_on_resume() {
+        let dir = std::env::temp_dir().join(format!(
+            "mp-checkpoint-test-{}-sink",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("sink.ckpt.json");
+        let _ = std::fs::remove_file(&path);
+
+        let config = churn_config();
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink_ctx = |seen: &std::sync::Arc<std::sync::Mutex<Vec<u32>>>| {
+            let seen = seen.clone();
+            RunCtx {
+                day_sink: Some(DaySink::new(move |stats: &DayStats| {
+                    seen.lock().expect("sink lock").push(stats.day);
+                })),
+                ..RunCtx::default()
+            }
+        };
+
+        // A fresh run streams each day exactly once, in order.
+        run_multiday(&config, &sink_ctx(&seen), None).expect("fresh run");
+        assert_eq!(*seen.lock().expect("sink lock"), vec![1, 2, 3, 4, 5]);
+
+        // A resumed run first replays the checkpointed days so the stream is
+        // complete from the watcher's point of view.
+        let mut state = CampaignState::fresh(&config);
+        let visit_probs = seat_visit_probs(&config);
+        for day in 1..=2 {
+            run_day(&config, &mut state, day, None, visit_probs.as_deref()).expect("day runs");
+        }
+        write_checkpoint(&path, &config, &state).expect("snapshot written");
+        seen.lock().expect("sink lock").clear();
+        run_campaign_with_checkpoint_ctx(&config, &path, &sink_ctx(&seen))
+            .expect("resumed run");
+        assert_eq!(*seen.lock().expect("sink lock"), vec![1, 2, 3, 4, 5]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

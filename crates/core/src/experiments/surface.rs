@@ -1,5 +1,6 @@
 //! The attack-surface registry experiment: probability surfaces over
-//! (attack vector × master reaction latency × jitter × defense adoption).
+//! (attack vector × master reaction latency × WAN latency × jitter ×
+//! defense adoption).
 //!
 //! The paper's core quantitative claim is a *probability*: the parasite wins
 //! the injection race against the genuine server with likelihood set by the
@@ -37,9 +38,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-/// Seed-stream tag for per-cell race worlds: cell `(v, d, j)` simulates under
-/// `mix_seed(seed, SURFACE_TAG ^ cell_tag(v, d, j))`, a stream disjoint from
-/// the campaign module's per-AP, shard, profile and day streams.
+/// Seed-stream tag for per-cell race worlds: cell `(v, d, w, j)` simulates
+/// under `mix_seed(seed, SURFACE_TAG ^ cell_tag(v, d, w, j))`, a stream
+/// disjoint from the campaign module's per-AP, shard, profile and day
+/// streams.
 pub(super) const SURFACE_TAG: u64 = 0x5caf_ace0_0000_0000;
 
 /// Seed-stream tag for the defense-adoption draws. Deliberately separate from
@@ -52,10 +54,14 @@ pub(super) const ADOPT_TAG: u64 = 0xad07_7000_0000_0000;
 const MAX_AXIS_STEPS: usize = 1 << 16;
 
 /// Packs one grid cell's coordinates into the seed-stream index: vector in
-/// bits 40+, delay in bits 20–39, jitter in bits 0–19. Axis lengths are
-/// validated against [`MAX_AXIS_STEPS`], so the fields never overlap.
-pub(super) fn cell_tag(vector: usize, delay_idx: usize, jitter_idx: usize) -> u64 {
-    ((vector as u64) << 40) | ((delay_idx as u64) << 20) | jitter_idx as u64
+/// bits 48+, delay in bits 32–47, WAN latency in bits 16–31, jitter in bits
+/// 0–15. Axis lengths are validated against [`MAX_AXIS_STEPS`], so the
+/// 16-bit lanes never overlap.
+pub(super) fn cell_tag(vector: usize, delay_idx: usize, wan_idx: usize, jitter_idx: usize) -> u64 {
+    ((vector as u64) << 48)
+        | ((delay_idx as u64) << 32)
+        | ((wan_idx as u64) << 16)
+        | jitter_idx as u64
 }
 
 // ---------------------------------------------------------------------------
@@ -241,13 +247,18 @@ pub struct VectorSurface {
     /// Whether that defense blocks that stage (§VIII). When `false` the
     /// adoption curve is flat — the paper's CSP headline.
     pub defense_blocks_stage: bool,
-    /// Race wins per `(delay, jitter)` cell, delay-major.
+    /// Race wins per `(delay, wan, jitter)` cell, delay-major.
     pub race_wins: Vec<u64>,
-    /// Post-adoption-gate successes per `(delay, jitter, adoption)` cell,
-    /// delay-major, then jitter, then adoption.
+    /// Post-adoption-gate successes per `(delay, wan, jitter, adoption)`
+    /// cell, delay-major, then WAN, then jitter, then adoption.
     pub successes: Vec<u64>,
-    /// Race success vs. reaction delay (aggregated over the jitter axis).
+    /// Race success vs. reaction delay (aggregated over the WAN and jitter
+    /// axes).
     pub success_vs_delay: Vec<CurvePoint>,
+    /// Race success vs. genuine-server WAN latency (aggregated over the
+    /// delay and jitter axes): the race gets *easier* as the real response
+    /// travels further, so this curve is monotone non-decreasing.
+    pub success_vs_wan: Vec<CurvePoint>,
     /// Per-exposure success vs. defense adoption (aggregated over delay and
     /// jitter).
     pub infection_vs_adoption: Vec<CurvePoint>,
@@ -267,6 +278,7 @@ impl ToJson for VectorSurface {
             ("race_wins", self.race_wins.to_json()),
             ("successes", self.successes.to_json()),
             ("success_vs_delay", self.success_vs_delay.to_json()),
+            ("success_vs_wan", self.success_vs_wan.to_json()),
             ("infection_vs_adoption", self.infection_vs_adoption.to_json()),
             ("steady_state", self.steady_state.to_json()),
         ])
@@ -279,6 +291,8 @@ impl ToJson for VectorSurface {
 pub struct SurfaceResult {
     /// Master reaction delays swept, in microseconds.
     pub delays_us: Vec<u64>,
+    /// Genuine-server WAN one-way latencies swept, in microseconds.
+    pub wans_us: Vec<u64>,
     /// Per-packet WiFi jitter bounds swept, in microseconds.
     pub jitters_us: Vec<u64>,
     /// Defense-adoption fractions swept.
@@ -299,10 +313,11 @@ impl SurfaceResult {
     pub fn render(&self) -> String {
         let mut out = format!(
             "Attack surface - race x defense probability sweep\n\
-             grid: {} vectors x {} delays x {} jitters x {} adoption points, \
+             grid: {} vectors x {} delays x {} wans x {} jitters x {} adoption points, \
              {} trials/cell ({} events)\n",
             self.vectors.len(),
             self.delays_us.len(),
+            self.wans_us.len(),
             self.jitters_us.len(),
             self.adoption.len(),
             self.trials,
@@ -330,6 +345,18 @@ impl SurfaceResult {
                     point.wilson_hi * 100.0,
                 ));
             }
+            if self.wans_us.len() > 1 {
+                out.push_str("  server wan us | success rate [wilson 95%]\n");
+                for point in &vector.success_vs_wan {
+                    out.push_str(&format!(
+                        "  {:>13} | {:>6.1} %  [{:>5.1}, {:>5.1}]\n",
+                        point.x as u64,
+                        point.rate * 100.0,
+                        point.wilson_lo * 100.0,
+                        point.wilson_hi * 100.0,
+                    ));
+                }
+            }
             out.push_str("  adoption | per-exposure success | steady-state infected\n");
             for (point, steady) in vector.infection_vs_adoption.iter().zip(&vector.steady_state) {
                 out.push_str(&format!(
@@ -348,6 +375,7 @@ impl ToJson for SurfaceResult {
     fn to_json(&self) -> Json {
         Json::obj([
             ("delays_us", self.delays_us.to_json()),
+            ("wans_us", self.wans_us.to_json()),
             ("jitters_us", self.jitters_us.to_json()),
             ("adoption", self.adoption.to_json()),
             ("trials", self.trials.to_json()),
@@ -368,6 +396,7 @@ impl ToJson for SurfaceResult {
 struct CellTask {
     seed: u64,
     delay_us: u64,
+    wan_us: u64,
     jitter_us: u64,
 }
 
@@ -386,6 +415,7 @@ fn run_cell(
 ) -> Result<CellOutcome, NetError> {
     let timing = RaceTiming {
         attacker_reaction_us: task.delay_us,
+        server_one_way_us: task.wan_us,
         ..RaceTiming::PAPER
     };
     let RaceWorld {
@@ -424,6 +454,19 @@ fn run_cell(
 fn delay_axis(config: &RunConfig) -> Vec<u64> {
     let steps = config.surface_delay_steps.max(1);
     let (start, end) = (config.surface_delay_start_us, config.surface_delay_end_us);
+    if steps == 1 || start == end {
+        return vec![start];
+    }
+    (0..steps)
+        .map(|i| start + (end - start) * i as u64 / (steps - 1) as u64)
+        .collect()
+}
+
+/// The linearly spaced WAN-latency axis (genuine server one-way time). The
+/// default single point is the paper's 40 ms internet path.
+fn wan_axis(config: &RunConfig) -> Vec<u64> {
+    let steps = config.surface_wan_steps.max(1);
+    let (start, end) = (config.surface_wan_start_us, config.surface_wan_end_us);
     if steps == 1 || start == end {
         return vec![start];
     }
@@ -473,7 +516,15 @@ pub(super) fn attack_surface(
             config.surface_delay_start_us, config.surface_delay_end_us
         )));
     }
-    if config.surface_delay_steps > MAX_AXIS_STEPS || config.surface_adoption_steps > MAX_AXIS_STEPS
+    if config.surface_wan_start_us > config.surface_wan_end_us {
+        return Err(ExperimentError::Config(format!(
+            "surface WAN range is inverted: [{}, {}]",
+            config.surface_wan_start_us, config.surface_wan_end_us
+        )));
+    }
+    if config.surface_delay_steps > MAX_AXIS_STEPS
+        || config.surface_wan_steps > MAX_AXIS_STEPS
+        || config.surface_adoption_steps > MAX_AXIS_STEPS
     {
         return Err(ExperimentError::Config(format!(
             "surface axes are capped at {MAX_AXIS_STEPS} steps"
@@ -481,24 +532,29 @@ pub(super) fn attack_surface(
     }
     let vectors = SurfaceVector::from_mask(config.surface_vectors)?;
     let delays = delay_axis(config);
+    let wans = wan_axis(config);
     let jitters = if config.jitter_us == 0 { vec![0] } else { vec![0, config.jitter_us] };
     let adoption = adoption_axis(config);
     let shared = ctx.budget_for(config);
 
-    // One race world per (vector, delay, jitter) cell, each under its own
-    // seed stream; the full task list runs on the order-preserving pool, so
-    // jobs=1 and parallel runs produce identical artifacts.
+    // One race world per (vector, delay, wan, jitter) cell, each under its
+    // own seed stream; the full task list runs on the order-preserving pool,
+    // so jobs=1 and parallel runs produce identical artifacts.
     let tasks: Vec<CellTask> = vectors
         .iter()
         .enumerate()
         .flat_map(|(v, _)| {
             let delays = &delays;
+            let wans = &wans;
             let jitters = &jitters;
             delays.iter().enumerate().flat_map(move |(d, &delay_us)| {
-                jitters.iter().enumerate().map(move |(j, &jitter_us)| CellTask {
-                    seed: mix_seed(config.seed, SURFACE_TAG ^ cell_tag(v, d, j)),
-                    delay_us,
-                    jitter_us,
+                wans.iter().enumerate().flat_map(move |(w, &wan_us)| {
+                    jitters.iter().enumerate().map(move |(j, &jitter_us)| CellTask {
+                        seed: mix_seed(config.seed, SURFACE_TAG ^ cell_tag(v, d, w, j)),
+                        delay_us,
+                        wan_us,
+                        jitter_us,
+                    })
                 })
             })
         })
@@ -508,36 +564,42 @@ pub(super) fn attack_surface(
 
     let mut total_events = 0u64;
     let mut surfaces = Vec::with_capacity(vectors.len());
-    let cells_per_vector = delays.len() * jitters.len();
+    let cells_per_vector = delays.len() * wans.len() * jitters.len();
     for (v, vector) in vectors.iter().enumerate() {
         let blocked = vector.defense_blocks_stage();
         let mut race_wins = Vec::with_capacity(cells_per_vector);
         let mut successes = Vec::with_capacity(cells_per_vector * adoption.len());
         let mut delay_wins = vec![0u64; delays.len()];
+        let mut wan_wins = vec![0u64; wans.len()];
         let mut adoption_successes = vec![0u64; adoption.len()];
-        for d in 0..delays.len() {
-            for j in 0..jitters.len() {
-                let outcome = outcomes[v * cells_per_vector + d * jitters.len() + j]
-                    .as_ref()
-                    .map_err(|error| ExperimentError::Net(error.clone()))?;
-                total_events += outcome.events;
-                let wins = outcome.wins.iter().filter(|&&w| w).count() as u64;
-                race_wins.push(wins);
-                delay_wins[d] += wins;
-                let coordinates = adoption_coordinates(config, cell_tag(v, d, j));
-                for (k, &a) in adoption.iter().enumerate() {
-                    let survived = outcome
-                        .wins
-                        .iter()
-                        .zip(&coordinates)
-                        .filter(|&(&win, &u)| win && !(blocked && u < a))
-                        .count() as u64;
-                    successes.push(survived);
-                    adoption_successes[k] += survived;
+        for (d, d_wins) in delay_wins.iter_mut().enumerate() {
+            for (w, w_wins) in wan_wins.iter_mut().enumerate() {
+                for j in 0..jitters.len() {
+                    let cell = (d * wans.len() + w) * jitters.len() + j;
+                    let outcome = outcomes[v * cells_per_vector + cell]
+                        .as_ref()
+                        .map_err(|error| ExperimentError::Net(error.clone()))?;
+                    total_events += outcome.events;
+                    let wins = outcome.wins.iter().filter(|&&win| win).count() as u64;
+                    race_wins.push(wins);
+                    *d_wins += wins;
+                    *w_wins += wins;
+                    let coordinates = adoption_coordinates(config, cell_tag(v, d, w, j));
+                    for (k, &a) in adoption.iter().enumerate() {
+                        let survived = outcome
+                            .wins
+                            .iter()
+                            .zip(&coordinates)
+                            .filter(|&(&win, &u)| win && !(blocked && u < a))
+                            .count() as u64;
+                        successes.push(survived);
+                        adoption_successes[k] += survived;
+                    }
                 }
             }
         }
-        let per_delay_trials = (jitters.len() * config.surface_trials) as u64;
+        let per_delay_trials = (wans.len() * jitters.len() * config.surface_trials) as u64;
+        let per_wan_trials = (delays.len() * jitters.len() * config.surface_trials) as u64;
         let per_adoption_trials = (cells_per_vector * config.surface_trials) as u64;
         let q = DAILY_CACHE_CLEAR + config.fleet_churn - DAILY_CACHE_CLEAR * config.fleet_churn;
         let infection_vs_adoption: Vec<CurvePoint> = adoption
@@ -557,6 +619,11 @@ pub(super) fn attack_surface(
                 .zip(&delay_wins)
                 .map(|(&delay, &wins)| curve_point(delay as f64, wins, per_delay_trials))
                 .collect(),
+            success_vs_wan: wans
+                .iter()
+                .zip(&wan_wins)
+                .map(|(&wan, &wins)| curve_point(wan as f64, wins, per_wan_trials))
+                .collect(),
             steady_state: infection_vs_adoption
                 .iter()
                 .map(|point| {
@@ -570,6 +637,7 @@ pub(super) fn attack_surface(
 
     Ok(SurfaceResult {
         delays_us: delays,
+        wans_us: wans,
         jitters_us: jitters,
         adoption,
         trials: config.surface_trials,
@@ -714,6 +782,12 @@ mod tests {
                 ..small_config()
             },
             RunConfig { surface_delay_steps: MAX_AXIS_STEPS + 1, ..small_config() },
+            RunConfig {
+                surface_wan_start_us: 100_000,
+                surface_wan_end_us: 10_000,
+                ..small_config()
+            },
+            RunConfig { surface_wan_steps: MAX_AXIS_STEPS + 1, ..small_config() },
         ] {
             match experiment.try_run(&bad) {
                 Err(ExperimentError::Config(_)) => {}
@@ -748,6 +822,71 @@ mod tests {
         assert_eq!(
             data.get("vectors").and_then(Json::as_array).map(<[Json]>::len),
             Some(4)
+        );
+    }
+
+    #[test]
+    fn wan_axis_defaults_to_the_paper_point_and_sweeps_monotonically() {
+        // Default grid: one WAN point — the paper's 40 ms internet path —
+        // and a single-point success_vs_wan curve per vector.
+        let artifact = Registry::get(ExperimentId::AttackSurface).run(&small_config());
+        let result = artifact.data.as_attack_surface().expect("surface artifact");
+        assert_eq!(result.wans_us, vec![40_000]);
+        for vector in &result.vectors {
+            assert_eq!(vector.success_vs_wan.len(), 1);
+        }
+
+        // Swept: the race only gets easier as the genuine response travels
+        // further, so success is monotone non-DEcreasing in WAN latency
+        // (the mirror image of the reaction-delay axis).
+        let config = RunConfig {
+            surface_wan_start_us: 5_000,
+            surface_wan_end_us: 120_000,
+            surface_wan_steps: 4,
+            ..small_config()
+        };
+        let artifact = Registry::get(ExperimentId::AttackSurface).run(&config);
+        let result = artifact.data.as_attack_surface().expect("surface artifact");
+        assert_eq!(result.wans_us.len(), 4);
+        assert_eq!(result.wans_us, {
+            let mut sorted = result.wans_us.clone();
+            sorted.sort_unstable();
+            sorted
+        });
+        for vector in &result.vectors {
+            assert_eq!(
+                vector.race_wins.len(),
+                result.delays_us.len() * result.wans_us.len()
+            );
+            assert_eq!(vector.success_vs_wan.len(), 4);
+            for pair in vector.success_vs_wan.windows(2) {
+                assert!(
+                    pair[1].successes >= pair[0].successes,
+                    "{}: success must not drop as the genuine server moves further away",
+                    vector.vector
+                );
+            }
+            // Delay monotonicity survives aggregation over the WAN axis.
+            for pair in vector.success_vs_delay.windows(2) {
+                assert!(pair[1].successes <= pair[0].successes);
+            }
+        }
+        // A slow master that loses against a nearby server wins against a
+        // distant one: the WAN curve actually moves.
+        let hsts = &result.vectors[0];
+        assert!(
+            hsts.success_vs_wan.last().unwrap().successes
+                > hsts.success_vs_wan.first().unwrap().successes,
+            "the swept WAN range must span a race crossover"
+        );
+
+        // Deterministic across scheduling hints, like every other axis.
+        let parallel = Registry::get(ExperimentId::AttackSurface)
+            .run(&RunConfig { fleet_jobs: 4, ..config });
+        assert_eq!(artifact.data, parallel.data);
+        assert_eq!(
+            artifact.data.to_json().to_string(),
+            parallel.data.to_json().to_string()
         );
     }
 

@@ -1,0 +1,113 @@
+//! A small blocking client for the campaign service daemon.
+//!
+//! Wraps a unix or TCP stream in line-oriented [`Request`]/[`Response`]
+//! framing; the CLI's `submit`/`status`/`watch`/`cancel`/`shutdown`
+//! subcommands and the end-to-end tests are built on it.
+
+use crate::protocol::{Request, Response};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A unix socket path.
+    Unix(PathBuf),
+    /// A TCP address, e.g. `127.0.0.1:7071`.
+    Tcp(String),
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The daemon sent a line the protocol cannot decode.
+    Protocol(String),
+    /// The daemon closed the connection before replying.
+    Closed,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(error) => write!(f, "socket error: {error}"),
+            ClientError::Protocol(message) => write!(f, "protocol error: {message}"),
+            ClientError::Closed => f.write_str("daemon closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(error) => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(error: io::Error) -> ClientError {
+        ClientError::Io(error)
+    }
+}
+
+/// One connection to a daemon. Requests and responses share the connection,
+/// so interleave them in protocol order: send, then read until satisfied.
+pub struct Client {
+    reader: BufReader<Box<dyn io::Read + Send>>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl Client {
+    /// Connects to the daemon at `endpoint`.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        match endpoint {
+            Endpoint::Unix(path) => {
+                let stream = UnixStream::connect(path)?;
+                let writer = stream.try_clone()?;
+                Ok(Client {
+                    reader: BufReader::new(Box::new(stream)),
+                    writer: Box::new(writer),
+                })
+            }
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                let writer = stream.try_clone()?;
+                Ok(Client {
+                    reader: BufReader::new(Box::new(stream)),
+                    writer: Box::new(writer),
+                })
+            }
+        }
+    }
+
+    /// Writes one request line.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        writeln!(self.writer, "{}", request.to_json())?;
+        self.writer.flush()
+    }
+
+    /// Reads the next response line, blocking until one arrives.
+    pub fn read_response(&mut self) -> Result<Response, ClientError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match self.reader.read_line(&mut line)? {
+                0 => return Err(ClientError::Closed),
+                _ if line.trim().is_empty() => continue,
+                _ => return Response::parse_line(&line).map_err(ClientError::Protocol),
+            }
+        }
+    }
+
+    /// Sends a request and reads its first response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send(request)?;
+        self.read_response()
+    }
+}

@@ -1,0 +1,293 @@
+//! End-to-end tests for the campaign service daemon: a real daemon on a real
+//! unix socket, driven by the [`Client`] over the newline-JSON protocol.
+
+use mp_service::{Client, Daemon, Endpoint, Request, Response, RunOutcome, RunState, ServeOptions};
+use parasite::experiments::{
+    run_campaign_with_checkpoint, Artifact, ArtifactData, DayStats, ExperimentId, Registry,
+    RunConfig,
+};
+use parasite::json::ToJson;
+use std::path::{Path, PathBuf};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mp-service-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn connect(socket: &Path) -> Client {
+    Client::connect(&Endpoint::Unix(socket.to_path_buf())).expect("connect to daemon")
+}
+
+fn campaign_config(seed: u64) -> RunConfig {
+    RunConfig {
+        seed,
+        fleet_clients: 2_000,
+        fleet_aps: 4,
+        fleet_days: 12,
+        fleet_churn: 0.2,
+        fleet_jobs: 1,
+        ..RunConfig::default()
+    }
+}
+
+fn submit(client: &mut Client, config: RunConfig, checkpoint: Option<PathBuf>) -> u64 {
+    let request = Request::Submit {
+        experiment: ExperimentId::CampaignFleet,
+        config: Box::new(config),
+        checkpoint,
+        watch: true,
+    };
+    match client.request(&request).expect("submission response") {
+        Response::Accepted { run, experiment } => {
+            assert_eq!(experiment, ExperimentId::CampaignFleet);
+            run
+        }
+        other => panic!("expected accepted, got {other:?}"),
+    }
+}
+
+/// Reads a watch stream to its end: the day messages, then the outcome.
+fn drain_stream(client: &mut Client, run: u64) -> (Vec<DayStats>, RunOutcome) {
+    let mut days = Vec::new();
+    loop {
+        match client.read_response().expect("stream response") {
+            Response::Day { run: id, stats } => {
+                assert_eq!(id, run);
+                days.push(stats);
+            }
+            Response::Done { run: id, outcome } => {
+                assert_eq!(id, run);
+                return (days, outcome);
+            }
+            other => panic!("unexpected message in run {run}'s stream: {other:?}"),
+        }
+    }
+}
+
+fn shutdown_and_wait(daemon: Daemon, socket: &Path) {
+    let mut client = connect(socket);
+    match client.request(&Request::Shutdown).expect("shutdown response") {
+        Response::ShuttingDown { .. } => {}
+        other => panic!("expected shutting_down, got {other:?}"),
+    }
+    daemon.wait().expect("daemon joins cleanly");
+    assert!(!socket.exists(), "socket file must be removed on clean shutdown");
+}
+
+#[test]
+fn concurrent_submissions_with_isolated_budgets_match_batch_runs() {
+    let dir = temp_dir("budgets");
+    let socket = dir.join("daemon.sock");
+
+    // Size each run's private budget off an unlimited probe: enough for one
+    // run plus slack, but nowhere near enough for two runs from one pool. If
+    // the daemon (incorrectly) pooled the two submissions, the shared budget
+    // would exhaust and the artifacts would diverge from the batch baseline.
+    let probe = Registry::get(ExperimentId::CampaignFleet).run(&campaign_config(11));
+    let total_events: u64 = match &probe.data {
+        ArtifactData::CampaignFleet(result) => result.day_stats.iter().map(|d| d.events).sum(),
+        other => panic!("expected a campaign artifact, got {other:?}"),
+    };
+    let configs = [11, 29].map(|seed| RunConfig {
+        global_event_budget: total_events + 1_000,
+        ..campaign_config(seed)
+    });
+    let references: Vec<String> = configs
+        .iter()
+        .map(|config| {
+            Registry::get(ExperimentId::CampaignFleet).run(config).to_json().to_string()
+        })
+        .collect();
+
+    let daemon = Daemon::start(ServeOptions::new(&socket)).expect("daemon starts");
+    let mut clients: Vec<Client> = (0..2).map(|_| connect(&socket)).collect();
+    let runs: Vec<u64> = clients
+        .iter_mut()
+        .zip(configs)
+        .map(|(client, config)| submit(client, config, None))
+        .collect();
+
+    for ((client, run), reference) in clients.iter_mut().zip(runs).zip(&references) {
+        let (days, outcome) = drain_stream(client, run);
+        assert_eq!(days.len(), 12, "every campaign day must be streamed");
+        assert!(days.iter().enumerate().all(|(i, d)| d.day == i as u32 + 1));
+        match outcome {
+            RunOutcome::Ok { artifact } => assert_eq!(
+                artifact.to_string(),
+                *reference,
+                "served artifact must be byte-identical to the batch run"
+            ),
+            other => panic!("expected an ok outcome, got {other:?}"),
+        }
+    }
+    shutdown_and_wait(daemon, &socket);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancelled_run_leaves_checkpoint_and_resubmission_matches_batch() {
+    let dir = temp_dir("cancel");
+    let socket = dir.join("daemon.sock");
+    let config = campaign_config(7);
+
+    // The uninterrupted batch reference, wrapped exactly as the daemon wraps
+    // checkpoint runs.
+    let reference_path = dir.join("reference.ckpt.json");
+    let reference = Artifact {
+        id: ExperimentId::CampaignFleet,
+        config,
+        data: ArtifactData::CampaignFleet(
+            run_campaign_with_checkpoint(&config, &reference_path).expect("reference run"),
+        ),
+    }
+    .to_json()
+    .to_string();
+
+    let daemon = Daemon::start(ServeOptions::new(&socket)).expect("daemon starts");
+    let checkpoint = dir.join("served.ckpt.json");
+
+    // Pre-connect the canceller so its request is served the moment it is
+    // sent, then cancel as soon as the watcher has seen the first day.
+    let mut canceller = connect(&socket);
+    let mut watcher = connect(&socket);
+    let run = submit(&mut watcher, config, Some(checkpoint.clone()));
+    let first = watcher.read_response().expect("first day");
+    assert!(matches!(first, Response::Day { stats, .. } if stats.day == 1));
+    match canceller.request(&Request::Cancel { run }).expect("cancel response") {
+        Response::Cancelling { run: id } => assert_eq!(id, run),
+        other => panic!("expected cancelling, got {other:?}"),
+    }
+    let (days, outcome) = drain_stream(&mut watcher, run);
+    let completed = match outcome {
+        RunOutcome::Cancelled { days_completed } => days_completed,
+        other => panic!("expected a cancelled outcome, got {other:?}"),
+    };
+    // Day 1 was streamed before the token was set, and twelve fast days
+    // could not all have elapsed in the few-millisecond cancel latency.
+    assert!((1..12).contains(&completed), "cancel must stop mid-campaign, got {completed}");
+    assert_eq!(days.len() + 1, completed as usize, "stream covered every completed day");
+    assert!(checkpoint.exists(), "cancelled run must leave its checkpoint");
+
+    // Status shows the run as done/cancelled.
+    match canceller.request(&Request::Status { run: Some(run) }).expect("status") {
+        Response::Status { runs } => {
+            assert_eq!(runs.len(), 1);
+            assert_eq!(runs[0].state, RunState::Done);
+            assert_eq!(runs[0].days, completed);
+            assert_eq!(runs[0].outcome.as_deref(), Some("cancelled"));
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+
+    // Resubmit the identical config and checkpoint: the daemon resumes from
+    // the completed days, replays them into the stream, finishes the
+    // campaign, and the final artifact is byte-identical to the batch run.
+    let resumed = submit(&mut watcher, config, Some(checkpoint.clone()));
+    let (days, outcome) = drain_stream(&mut watcher, resumed);
+    assert_eq!(days.len(), 12, "replayed checkpoint days plus fresh days");
+    assert!(days.iter().enumerate().all(|(i, d)| d.day == i as u32 + 1));
+    match outcome {
+        RunOutcome::Ok { artifact } => assert_eq!(
+            artifact.to_string(),
+            reference,
+            "cancel + resume must be byte-identical to one uninterrupted run"
+        ),
+        other => panic!("expected an ok outcome, got {other:?}"),
+    }
+    shutdown_and_wait(daemon, &socket);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn queued_run_cancelled_before_execution_resolves_with_zero_days() {
+    let dir = temp_dir("queued");
+    let socket = dir.join("daemon.sock");
+    let daemon = Daemon::start(ServeOptions {
+        workers: 1,
+        ..ServeOptions::new(&socket)
+    })
+    .expect("daemon starts");
+
+    // With one worker the second submission sits in the queue while the
+    // first runs; cancelling it must resolve it without executing a day.
+    let mut first = connect(&socket);
+    let mut second = connect(&socket);
+    let running = submit(&mut first, campaign_config(3), None);
+    let queued = submit(&mut second, campaign_config(5), None);
+    let mut control = connect(&socket);
+    match control.request(&Request::Cancel { run: queued }).expect("cancel response") {
+        Response::Cancelling { run } => assert_eq!(run, queued),
+        other => panic!("expected cancelling, got {other:?}"),
+    }
+    let (days, outcome) = drain_stream(&mut second, queued);
+    assert!(days.is_empty(), "a queued-cancelled run must never execute");
+    assert!(matches!(outcome, RunOutcome::Cancelled { days_completed: 0 }));
+
+    // The running submission is untouched by its neighbour's cancellation.
+    let (days, outcome) = drain_stream(&mut first, running);
+    assert_eq!(days.len(), 12);
+    assert!(matches!(outcome, RunOutcome::Ok { .. }));
+    shutdown_and_wait(daemon, &socket);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn protocol_violations_get_pointed_error_responses() {
+    let dir = temp_dir("errors");
+    let socket = dir.join("daemon.sock");
+    let daemon = Daemon::start(ServeOptions::new(&socket)).expect("daemon starts");
+    let mut client = connect(&socket);
+
+    let error_for = |client: &mut Client, request: &Request| {
+        match client.request(request).expect("response") {
+            Response::Error { message } => message,
+            other => panic!("expected an error response, got {other:?}"),
+        }
+    };
+    assert!(error_for(&mut client, &Request::Cancel { run: 99 }).contains("unknown run 99"));
+    assert!(error_for(&mut client, &Request::Watch { run: 42 }).contains("unknown run 42"));
+    assert!(
+        error_for(&mut client, &Request::Status { run: Some(7) }).contains("unknown run 7")
+    );
+    // Checkpoints are a multi-day campaign_fleet contract, mirrored from the
+    // CLI's batch mode.
+    let message = error_for(
+        &mut client,
+        &Request::Submit {
+            experiment: ExperimentId::Fig4,
+            config: Box::new(RunConfig::default()),
+            checkpoint: Some(dir.join("nope.ckpt.json")),
+            watch: false,
+        },
+    );
+    assert!(message.contains("campaign_fleet"), "got: {message}");
+    let message = error_for(
+        &mut client,
+        &Request::Submit {
+            experiment: ExperimentId::CampaignFleet,
+            config: Box::new(RunConfig::default()),
+            checkpoint: Some(dir.join("nope.ckpt.json")),
+            watch: false,
+        },
+    );
+    assert!(message.contains("fleet_days"), "got: {message}");
+
+    // A non-JSON line gets an error response instead of killing the
+    // connection: the next request on the same socket still works.
+    use std::io::Write;
+    let mut raw = std::os::unix::net::UnixStream::connect(&socket).expect("raw connect");
+    let mut reader = std::io::BufReader::new(raw.try_clone().expect("clone"));
+    let mut line = String::new();
+    writeln!(raw, "this is not json").expect("write garbage");
+    std::io::BufRead::read_line(&mut reader, &mut line).expect("error line");
+    assert!(line.contains("not valid JSON"), "got: {line}");
+    writeln!(raw, "{}", Request::Status { run: None }.to_json()).expect("write status");
+    line.clear();
+    std::io::BufRead::read_line(&mut reader, &mut line).expect("status line");
+    assert!(line.contains("\"type\":\"status\""), "got: {line}");
+
+    shutdown_and_wait(daemon, &socket);
+    let _ = std::fs::remove_dir_all(&dir);
+}

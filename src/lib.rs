@@ -19,7 +19,9 @@
 //! * [`apps`] (`mp-apps`) — simulated victim applications,
 //! * [`parasite`] — the attack itself: infection, eviction, injection,
 //!   persistence, propagation, C&C, defenses and the paper's experiments,
-//! * [`bench`] (`mp-bench`) — the paper-report harness.
+//! * [`bench`] (`mp-bench`) — the paper-report harness,
+//! * [`service`] (`mp-service`) — the campaign service daemon: long-running
+//!   campaign runs served over a newline-JSON unix/TCP socket.
 //!
 //! On top of the re-exports, [`scenario`] provides the [`ScenarioBuilder`]:
 //! the one-stop way to compose origins, victim applications, a browser
@@ -49,6 +51,7 @@ pub use mp_bench as bench;
 pub use mp_browser as browser;
 pub use mp_httpsim as httpsim;
 pub use mp_netsim as netsim;
+pub use mp_service as service;
 pub use mp_webcache as webcache;
 pub use mp_webgen as webgen;
 pub use parasite;

@@ -176,11 +176,15 @@ proptest! {
         fleet_days in 1u32..400,
         fleet_churn_millis in 0u64..1_000,
         fleet_hetero_pick in 0u8..2,
+        fleet_visit_prob_millis in 1u64..=1_024,
         global_event_budget in 0u64..100_000_000,
         surface_trials in 1usize..100_000,
         surface_delay_start_us in 0u64..1_000_000,
         surface_delay_end_us in 0u64..1_000_000,
         surface_delay_steps in 1usize..10_000,
+        surface_wan_start_us in 0u64..1_000_000,
+        surface_wan_end_us in 0u64..1_000_000,
+        surface_wan_steps in 1usize..10_000,
         surface_adoption_steps in 1usize..10_000,
         surface_vectors in 0u8..16,
     ) {
@@ -190,14 +194,16 @@ proptest! {
             1 => TraceMode::SummaryOnly,
             _ => TraceMode::Ring(ring),
         };
-        // A dyadic fraction in [0, 1] that is exact in both f64 and JSON.
+        // Dyadic fractions in [0, 1] that are exact in both f64 and JSON.
         let fleet_churn = fleet_churn_millis as f64 / 1_024.0;
+        let fleet_visit_prob = fleet_visit_prob_millis as f64 / 1_024.0;
         let config = RunConfig {
             seed, scale, sites, crawl_sites, days, event_budget,
             trace_mode, jitter_us, fleet_clients, fleet_aps, fleet_shards, fleet_jobs,
-            fleet_days, fleet_churn, fleet_hetero, global_event_budget,
+            fleet_days, fleet_churn, fleet_hetero, fleet_visit_prob, global_event_budget,
             surface_trials, surface_delay_start_us, surface_delay_end_us,
-            surface_delay_steps, surface_adoption_steps, surface_vectors,
+            surface_delay_steps, surface_wan_start_us, surface_wan_end_us,
+            surface_wan_steps, surface_adoption_steps, surface_vectors,
         };
         let text = config.to_json().to_string();
         let parsed = Json::parse(&text).expect("config JSON parses");
