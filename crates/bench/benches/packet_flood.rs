@@ -16,7 +16,9 @@ use mp_netsim::capture::TraceMode;
 use mp_netsim::link::MediumKind;
 use mp_netsim::sim::{FixedResponder, Simulator};
 use mp_netsim::time::Duration;
-use parasite::experiments::{ExperimentId, Registry, RunConfig};
+use parasite::experiments::{
+    run_campaign_shard, ExperimentId, Registry, RunConfig, RunCtx, ShardOutcome, ShardPlan,
+};
 use parasite::json::{Json, ToJson};
 
 /// Flood size for the criterion timings (kept small so the statistical run
@@ -87,6 +89,43 @@ fn fleet_timing(shards: usize, days: u32, churn: f64) -> (f64, u64) {
         .expect("campaign artifact")
         .total_events;
     (seconds, events)
+}
+
+/// Times the same multi-day campaign as `fleet_multiday_5d`, decomposed
+/// into shard runs executed concurrently on scoped threads and merged back
+/// into the fleet result — the in-process cost model of `paper-report
+/// distribute` (without the per-assignment process spawn), so the shard
+/// decomposition's overhead over the fused loop rides the trajectory file.
+fn fleet_distributed_timing(workers: usize, days: u32, churn: f64) -> (f64, u64) {
+    let config = RunConfig {
+        fleet_clients: 20_000,
+        fleet_aps: 32,
+        fleet_jobs: 1,
+        fleet_days: days,
+        fleet_churn: churn,
+        ..RunConfig::default()
+    };
+    let start = std::time::Instant::now();
+    let plans = ShardPlan::split(&config, workers);
+    let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|plan| {
+                let config = &config;
+                scope.spawn(move || {
+                    run_campaign_shard(config, *plan, &RunCtx::default()).expect("shard runs")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|handle| handle.join().expect("shard thread")).collect()
+    });
+    let merged = outcomes
+        .into_iter()
+        .reduce(|left, right| left.merge(right).expect("disjoint shards merge"))
+        .expect("at least one shard");
+    let result = merged.into_fleet_result(&config).expect("full coverage");
+    let seconds = start.elapsed().as_secs_f64();
+    (seconds, result.total_events)
 }
 
 /// Times one attack-surface sweep (a CI-sized grid: 4 vectors x 6 delays,
@@ -161,6 +200,28 @@ fn bench(c: &mut Criterion) {
             ]),
         ));
     }
+
+    // The distributed decomposition of the same 5-day campaign: three
+    // shards on concurrent threads, merged — tracks what the shard refactor
+    // costs (or saves) against the fused fleet_multiday_5d loop above.
+    let (dist_seconds, dist_events) = fleet_distributed_timing(3, 5, 0.2);
+    println!(
+        "packet_flood/fleet_distributed: {dist_events} events in {dist_seconds:.3}s ({:.0} events/sec)",
+        dist_events as f64 / dist_seconds
+    );
+    fleet_entries.push((
+        "fleet_distributed",
+        Json::obj([
+            ("workers", 3u64.to_json()),
+            ("days", 5u32.to_json()),
+            ("churn", 0.2f64.to_json()),
+            ("clients", 20_000u64.to_json()),
+            ("aps", 32u64.to_json()),
+            ("seconds", dist_seconds.to_json()),
+            ("events", dist_events.to_json()),
+            ("events_per_sec", (dist_events as f64 / dist_seconds).to_json()),
+        ]),
+    ));
 
     // Surface timing: the attack-surface grid end to end, so the sweep's
     // cost rides the same trajectory file as the fleet numbers.

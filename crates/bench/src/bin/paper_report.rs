@@ -8,6 +8,8 @@
 //! paper-report serve --socket /tmp/mp.sock          # service daemon
 //! paper-report submit --socket /tmp/mp.sock \
 //!     --only campaign_fleet --fleet-days 5 --watch  # stream a campaign
+//! paper-report distribute --workers 3 \
+//!     --only campaign_fleet --fleet-days 5          # multi-process campaign
 //! ```
 
 use mp_bench::{render_report, report_json, try_run_selected};
@@ -24,7 +26,22 @@ paper-report: regenerate the tables and figures of The Master and Parasite Attac
 
 USAGE:
     paper-report [OPTIONS]
+    paper-report distribute --workers <n> [OPTIONS]
     paper-report <SUBCOMMAND> --socket <path> [OPTIONS]
+
+SUBCOMMANDS (distributed mode, newline-JSON protocol; see PROTOCOL.md):
+    distribute            split one multi-day campaign_fleet run into
+                          contiguous AP-range shards, execute them on
+                          --workers shard-worker processes (fresh local
+                          re-executions of this binary, or any --worker-cmd
+                          such as an ssh one-liner), merge the partial
+                          outcomes and print the report — byte-identical to
+                          the single-process batch run, including after a
+                          worker dies and its range is retried. Requires
+                          exactly --only campaign_fleet and --fleet-days >= 2
+    shard-worker          serve shard assignments from stdin, one reply line
+                          per assignment, until EOF (spawned by distribute;
+                          rarely run by hand)
 
 SUBCOMMANDS (service mode, newline-JSON protocol; see PROTOCOL.md):
     serve                 start the campaign service daemon on --socket (and
@@ -45,8 +62,19 @@ SERVICE OPTIONS:
     --tcp <addr>          TCP address (serve: extra listener; clients: dial
                           this instead of the unix socket)
     --serve-workers <n>   serve: concurrent runs executed at once [default: 2]
+    --serve-queue-limit <n>
+                          serve: bound the submission queue; a submit past
+                          the bound is rejected with a typed queue_full
+                          error until a worker drains the queue
+                          (0 = unbounded) [default: 0]
     --run <n>             status/watch/cancel: the run id
     --watch               submit: stay connected and stream day/done lines
+
+DISTRIBUTE OPTIONS:
+    --workers <n>         shard-worker processes to execute on [default: 2]
+    --worker-cmd <cmd>    launch each worker via `sh -c <cmd>` instead of
+                          re-executing this binary, e.g.
+                          \"ssh host paper-report shard-worker\"
 
 OPTIONS:
     --only <ids>          run only these experiments (comma-separated ids,
@@ -351,11 +379,18 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 print!("{USAGE}");
                 return Ok(None);
             }
-            "--socket" | "--tcp" | "--serve-workers" => {
+            "--socket" | "--tcp" | "--serve-workers" | "--serve-queue-limit" => {
                 return Err(format!(
                     "{arg} configures the service daemon; use a subcommand: \
                      paper-report serve|submit|status|watch|cancel|shutdown \
                      --socket <path>"
+                ));
+            }
+            "--workers" | "--worker-cmd" => {
+                return Err(format!(
+                    "{arg} splits a campaign across worker processes; use the \
+                     distribute subcommand: paper-report distribute \
+                     --workers <n> --only campaign_fleet --fleet-days <n>"
                 ));
             }
             "--watch" | "--run" => {
@@ -447,6 +482,8 @@ fn main() -> ExitCode {
     // Service mode: a leading subcommand word routes to the daemon / client
     // paths; everything else is the classic batch report.
     match args.first().map(String::as_str) {
+        Some("distribute") => return distribute::run(&args[1..]),
+        Some("shard-worker") => return distribute::worker(&args[1..]),
         Some("serve") => return service::serve(&args[1..]),
         Some("submit") => return service::submit(&args[1..]),
         Some("status") => return service::status(&args[1..]),
@@ -526,6 +563,7 @@ mod service {
         watch: bool,
         json: bool,
         workers: usize,
+        queue_limit: usize,
         rest: Vec<String>,
     }
 
@@ -537,6 +575,7 @@ mod service {
             watch: false,
             json: false,
             workers: 2,
+            queue_limit: 0,
             rest: Vec::new(),
         };
         let mut iter = args.iter();
@@ -560,6 +599,13 @@ mod service {
                         return Err("--serve-workers must be at least 1".to_string());
                     }
                 }
+                "--serve-queue-limit" => {
+                    parsed.queue_limit = usize::try_from(parse_number(
+                        &value_for("--serve-queue-limit")?,
+                        "--serve-queue-limit",
+                    )?)
+                    .map_err(|_| "--serve-queue-limit is out of range".to_string())?;
+                }
                 other => parsed.rest.push(other.to_string()),
             }
         }
@@ -578,7 +624,7 @@ mod service {
         }
     }
 
-    fn usage_error(message: &str) -> ExitCode {
+    pub(super) fn usage_error(message: &str) -> ExitCode {
         eprintln!("error: {message}\n");
         eprint!("{USAGE}");
         ExitCode::from(2)
@@ -640,6 +686,7 @@ mod service {
             tcp: parsed.tcp.clone(),
             workers: parsed.workers,
             global_event_budget,
+            queue_limit: parsed.queue_limit,
         };
         let daemon = match Daemon::start(options) {
             Ok(daemon) => daemon,
@@ -722,7 +769,7 @@ mod service {
                     ExitCode::SUCCESS
                 }
             }
-            Ok(Response::Error { message }) => {
+            Ok(Response::Error { message, .. }) => {
                 eprintln!("error: daemon rejected the submission: {message}");
                 ExitCode::FAILURE
             }
@@ -760,7 +807,7 @@ mod service {
                     }
                     ExitCode::SUCCESS
                 }
-                Ok(Response::Error { message }) => {
+                Ok(Response::Error { message, .. }) => {
                     eprintln!("error: {message}");
                     ExitCode::FAILURE
                 }
@@ -801,7 +848,7 @@ mod service {
                     }
                     ExitCode::SUCCESS
                 }
-                Ok(Response::Error { message }) => {
+                Ok(Response::Error { message, .. }) => {
                     eprintln!("error: {message}");
                     ExitCode::FAILURE
                 }
@@ -821,7 +868,7 @@ mod service {
                     }
                     ExitCode::SUCCESS
                 }
-                Ok(Response::Error { message }) => {
+                Ok(Response::Error { message, .. }) => {
                     eprintln!("error: {message}");
                     ExitCode::FAILURE
                 }
@@ -894,7 +941,7 @@ mod service {
                         _ => ExitCode::SUCCESS,
                     };
                 }
-                Ok(Response::Error { message }) => {
+                Ok(Response::Error { message, .. }) => {
                     eprintln!("error: {message}");
                     return ExitCode::FAILURE;
                 }
@@ -918,5 +965,368 @@ mod service {
             stats.clean,
             stats.events
         );
+    }
+}
+
+/// The distributed-campaign subcommands: `distribute` is the coordinator
+/// (split, farm out, merge, report); `shard-worker` is the per-process
+/// worker half it spawns. A shard-worker reads one newline-JSON assignment
+/// per line from stdin —
+/// `{"op": "shard_run", "config": {...}, "first_ap": n, "aps": n}` — and
+/// replies on stdout with one `shard_result` (carrying the shard's
+/// mergeable partial-checkpoint document) or `error` line, until EOF. The
+/// same protocol works unchanged across an ssh transport, which is what
+/// `--worker-cmd` exists for.
+mod distribute {
+    use super::service::usage_error;
+    use super::*;
+    use parasite::experiments::{run_campaign_shard, RunCtx, ShardOutcome, ShardPlan};
+    use parasite::json::{Json, ToJson};
+    use std::collections::VecDeque;
+    use std::io::{BufRead, BufReader, Write as _};
+    use std::process::{Child, Command, Stdio};
+    use std::sync::Mutex;
+
+    /// Fault-injection hook for the retry tests and the CI smoke: the first
+    /// worker process to atomically create the latch file named by this
+    /// variable dies with exit code 3 *before* replying, so exactly one
+    /// assignment must be retried.
+    const CRASH_ONCE_ENV: &str = "MP_SHARD_WORKER_CRASH_ONCE";
+
+    /// The `shard-worker` loop: serve stdin assignments until EOF.
+    pub fn worker(args: &[String]) -> ExitCode {
+        if let Some(stray) = args.first() {
+            return usage_error(&format!("unknown shard-worker argument {stray:?}"));
+        }
+        let stdin = std::io::stdin();
+        let mut reader = stdin.lock();
+        let mut stdout = std::io::stdout();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => return ExitCode::SUCCESS,
+                Ok(_) => {}
+                Err(_) => return ExitCode::FAILURE,
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            maybe_crash();
+            let reply = serve_assignment(line.trim());
+            if writeln!(stdout, "{reply}").and_then(|()| stdout.flush()).is_err() {
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    /// Dies mid-assignment (once, fleet-wide) when the crash latch is armed.
+    fn maybe_crash() {
+        let Ok(latch) = std::env::var(CRASH_ONCE_ENV) else { return };
+        if latch.is_empty() {
+            return;
+        }
+        // `create_new` is the atomic claim: exactly one worker across all
+        // concurrently-running processes wins the latch and crashes.
+        if std::fs::OpenOptions::new().write(true).create_new(true).open(&latch).is_ok() {
+            std::process::exit(3);
+        }
+    }
+
+    /// Serves one assignment line, rendering the reply line.
+    fn serve_assignment(line: &str) -> Json {
+        match run_assignment(line) {
+            Ok((first_ap, aps, outcome)) => Json::obj([
+                ("type", "shard_result".to_json()),
+                ("first_ap", (first_ap as u64).to_json()),
+                ("aps", (aps as u64).to_json()),
+                ("outcome", outcome),
+            ]),
+            Err(message) => {
+                Json::obj([("type", "error".to_json()), ("message", message.to_json())])
+            }
+        }
+    }
+
+    fn run_assignment(line: &str) -> Result<(usize, usize, Json), String> {
+        let request = Json::parse(line)
+            .map_err(|error| format!("assignment line is not valid JSON: {error}"))?;
+        match request.get("op").and_then(Json::as_str) {
+            Some("shard_run") => {}
+            Some(other) => return Err(format!("unknown worker op {other:?}")),
+            None => return Err("assignment is missing the \"op\" field".to_string()),
+        }
+        let config = request
+            .get("config")
+            .and_then(RunConfig::from_json)
+            .ok_or_else(|| "\"config\" is not a run configuration object".to_string())?;
+        let field = |key: &str| {
+            request
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("shard_run requires a numeric {key:?} field"))
+        };
+        let first_ap = field("first_ap")? as usize;
+        let aps = field("aps")? as usize;
+        let plan = ShardPlan { first_ap, aps };
+        let outcome = run_campaign_shard(&config, plan, &RunCtx::default())
+            .map_err(|error| error.to_string())?;
+        Ok((first_ap, aps, outcome.to_checkpoint_json(&config)))
+    }
+
+    /// The `distribute` coordinator.
+    pub fn run(args: &[String]) -> ExitCode {
+        // Strip the coordinator-only flags before the batch parser sees the
+        // rest: --workers / --worker-cmd are pure scheduling hints and must
+        // never reach the RunConfig, or the merged artifact's config echo
+        // would diverge from the batch run's.
+        let mut workers = 2usize;
+        let mut worker_cmd: Option<String> = None;
+        let mut rest: Vec<String> = Vec::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--workers" => {
+                    let Some(value) = iter.next() else {
+                        return usage_error("--workers requires a value");
+                    };
+                    workers = match parse_number(value, "--workers") {
+                        Ok(0) => return usage_error("--workers must be at least 1"),
+                        Ok(value) => value as usize,
+                        Err(message) => return usage_error(&message),
+                    };
+                }
+                "--worker-cmd" => {
+                    let Some(value) = iter.next() else {
+                        return usage_error("--worker-cmd requires a value");
+                    };
+                    worker_cmd = Some(value.clone());
+                }
+                other => rest.push(other.to_string()),
+            }
+        }
+        let options = match parse_args(&rest) {
+            Ok(Some(options)) => options,
+            Ok(None) => return ExitCode::SUCCESS,
+            Err(message) => return usage_error(&message),
+        };
+        if options.ids != [ExperimentId::CampaignFleet] {
+            return usage_error(
+                "distribute runs the campaign alone; use exactly --only campaign_fleet",
+            );
+        }
+        if options.config.fleet_days < 2 {
+            return usage_error(
+                "distribute requires a multi-day campaign; set --fleet-days to 2 or more",
+            );
+        }
+        if options.checkpoint.is_some() {
+            return usage_error(
+                "--fleet-checkpoint belongs to the single-process batch mode; \
+                 distribute keeps its partial outcomes in memory",
+            );
+        }
+        if options.config.global_event_budget > 0 {
+            return usage_error(
+                "--global-event-budget cannot be distributed: a budget pool \
+                 shared across worker processes would make the merged result \
+                 depend on scheduling",
+            );
+        }
+        let config = options.config;
+        let plans = ShardPlan::split(&config, workers);
+        let merged = match execute(&config, &plans, workers, worker_cmd.as_deref()) {
+            Ok(merged) => merged,
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match merged.into_fleet_result(&config) {
+            Ok(result) => {
+                let artifact = Artifact {
+                    id: ExperimentId::CampaignFleet,
+                    config,
+                    data: ArtifactData::CampaignFleet(result),
+                };
+                if options.json {
+                    println!("{}", report_json(&config, &[artifact]));
+                } else {
+                    println!("{}", render_report(&[artifact]));
+                }
+                ExitCode::SUCCESS
+            }
+            Err(error) => {
+                eprintln!("error: experiment campaign_fleet failed: {error}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+
+    /// Farms the shard plans out to worker processes and merges the partial
+    /// outcomes. Each assignment gets a fresh worker process (no
+    /// half-poisoned state to reason about on retry); an assignment whose
+    /// worker dies, or that replies with an error, goes back on the queue
+    /// until the retry budget — every range failing once, plus a few
+    /// stragglers — runs out.
+    fn execute(
+        config: &RunConfig,
+        plans: &[ShardPlan],
+        workers: usize,
+        worker_cmd: Option<&str>,
+    ) -> Result<ShardOutcome, String> {
+        let queue: Mutex<VecDeque<usize>> = Mutex::new((0..plans.len()).collect());
+        let results: Vec<Mutex<Option<ShardOutcome>>> =
+            plans.iter().map(|_| Mutex::new(None)).collect();
+        let retries = Mutex::new(plans.len() + 4);
+        let failure: Mutex<Option<String>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for _ in 0..workers.clamp(1, plans.len()) {
+                scope.spawn(|| loop {
+                    let index = {
+                        let mut queue = queue.lock().unwrap();
+                        match queue.pop_front() {
+                            Some(index) => index,
+                            None => break,
+                        }
+                    };
+                    let range_of = |plan: ShardPlan| {
+                        format!("[{}, {})", plan.first_ap, plan.first_ap + plan.aps)
+                    };
+                    match run_worker(config, plans[index], worker_cmd) {
+                        Ok(outcome) => {
+                            *results[index].lock().unwrap() = Some(outcome);
+                        }
+                        Err(message) => {
+                            let mut retries = retries.lock().unwrap();
+                            if *retries == 0 {
+                                *failure.lock().unwrap() = Some(format!(
+                                    "shard {} failed and the retry budget is \
+                                     spent: {message}",
+                                    range_of(plans[index])
+                                ));
+                                break;
+                            }
+                            *retries -= 1;
+                            drop(retries);
+                            eprintln!(
+                                "warning: shard {} failed ({message}); retrying",
+                                range_of(plans[index])
+                            );
+                            queue.lock().unwrap().push_back(index);
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(message) = failure.into_inner().unwrap() {
+            return Err(message);
+        }
+        let mut merged: Option<ShardOutcome> = None;
+        for slot in results {
+            let outcome = slot
+                .into_inner()
+                .unwrap()
+                .ok_or_else(|| "a shard finished without a result".to_string())?;
+            merged = Some(match merged {
+                None => outcome,
+                Some(accumulated) => accumulated
+                    .merge(outcome)
+                    .map_err(|error| format!("cannot merge shard outcomes: {error}"))?,
+            });
+        }
+        merged.ok_or_else(|| "no shards were planned".to_string())
+    }
+
+    /// Runs one assignment on a fresh worker process: write the request
+    /// line, close stdin (the worker replies, sees EOF and exits), read the
+    /// single reply line, decode the partial-checkpoint document.
+    fn run_worker(
+        config: &RunConfig,
+        plan: ShardPlan,
+        worker_cmd: Option<&str>,
+    ) -> Result<ShardOutcome, String> {
+        let mut child = spawn_worker(worker_cmd)?;
+        let request = Json::obj([
+            ("op", "shard_run".to_json()),
+            ("config", config.to_json()),
+            ("first_ap", (plan.first_ap as u64).to_json()),
+            ("aps", (plan.aps as u64).to_json()),
+        ]);
+        {
+            let mut stdin = child
+                .stdin
+                .take()
+                .ok_or_else(|| "worker stdin unavailable".to_string())?;
+            writeln!(stdin, "{request}")
+                .map_err(|error| format!("cannot write to the worker: {error}"))?;
+        }
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| "worker stdout unavailable".to_string())?;
+        let mut reply = String::new();
+        let read = BufReader::new(stdout).read_line(&mut reply);
+        let status = child
+            .wait()
+            .map_err(|error| format!("cannot await the worker: {error}"))?;
+        match read {
+            Ok(0) => Err(format!("worker exited without replying ({status})")),
+            Ok(_) => decode_reply(reply.trim(), config, plan),
+            Err(error) => Err(format!("cannot read the worker's reply: {error}")),
+        }
+    }
+
+    fn spawn_worker(worker_cmd: Option<&str>) -> Result<Child, String> {
+        let mut command = match worker_cmd {
+            Some(cmd) => {
+                let mut command = Command::new("sh");
+                command.arg("-c").arg(cmd);
+                command
+            }
+            None => {
+                let exe = std::env::current_exe()
+                    .map_err(|error| format!("cannot locate this binary: {error}"))?;
+                let mut command = Command::new(exe);
+                command.arg("shard-worker");
+                command
+            }
+        };
+        command
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|error| format!("cannot spawn a shard worker: {error}"))
+    }
+
+    fn decode_reply(
+        line: &str,
+        config: &RunConfig,
+        plan: ShardPlan,
+    ) -> Result<ShardOutcome, String> {
+        let json = Json::parse(line)
+            .map_err(|error| format!("worker reply is not valid JSON: {error}"))?;
+        match json.get("type").and_then(Json::as_str) {
+            Some("shard_result") => {}
+            Some("error") => {
+                return Err(format!(
+                    "worker reported: {}",
+                    json.get("message").and_then(Json::as_str).unwrap_or("unspecified error")
+                ));
+            }
+            _ => return Err(format!("unexpected worker reply: {line}")),
+        }
+        let echo = (
+            json.get("first_ap").and_then(Json::as_u64),
+            json.get("aps").and_then(Json::as_u64),
+        );
+        if echo != (Some(plan.first_ap as u64), Some(plan.aps as u64)) {
+            return Err(format!("worker replied for a different shard range: {line}"));
+        }
+        let outcome = json
+            .get("outcome")
+            .ok_or_else(|| "worker reply is missing \"outcome\"".to_string())?;
+        ShardOutcome::from_checkpoint_json(outcome, config)
+            .map_err(|message| format!("worker outcome rejected: it {message}"))
     }
 }

@@ -1,0 +1,194 @@
+//! End-to-end tests for the distributed campaign mode: the `distribute`
+//! coordinator and its `shard-worker` child processes, driven through the
+//! real binary. The contract under test is the determinism guarantee of the
+//! shard decomposition — a campaign split across worker processes merges to
+//! the byte-identical single-process report, including after a worker is
+//! killed mid-assignment and its range is retried.
+
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+
+/// A fast multi-day campaign: small enough for a test, big enough that
+/// every one of three shards owns at least one AP.
+const CAMPAIGN: [&str; 12] = [
+    "--only",
+    "campaign_fleet",
+    "--seed",
+    "13",
+    "--fleet-clients",
+    "2000",
+    "--fleet-aps",
+    "4",
+    "--fleet-days",
+    "3",
+    "--fleet-churn",
+    "0.2",
+];
+
+fn paper_report(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_paper-report"))
+        .args(args)
+        .output()
+        .expect("paper-report spawns")
+}
+
+fn stdout_of(output: &Output) -> String {
+    assert!(
+        output.status.success(),
+        "exit {:?}; stderr: {}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout.clone()).expect("utf-8 report")
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("mp-distribute-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn distribute_matches_the_batch_report_byte_for_byte() {
+    let batch_json = stdout_of(&paper_report(&[CAMPAIGN.as_slice(), &["--json"]].concat()));
+    let distributed_json = stdout_of(&paper_report(
+        &[&["distribute", "--workers", "3"], CAMPAIGN.as_slice(), &["--json"]].concat(),
+    ));
+    assert_eq!(
+        distributed_json, batch_json,
+        "three workers must merge to the single-process JSON report"
+    );
+
+    // The human-readable rendering goes through the same merged artifact.
+    let batch_text = stdout_of(&paper_report(&CAMPAIGN));
+    let distributed_text = stdout_of(&paper_report(
+        &[&["distribute", "--workers", "3"], CAMPAIGN.as_slice()].concat(),
+    ));
+    assert_eq!(distributed_text, batch_text);
+
+    // More workers than APs: the split caps at one AP per shard and the
+    // report is still identical.
+    let many = stdout_of(&paper_report(
+        &[&["distribute", "--workers", "9"], CAMPAIGN.as_slice(), &["--json"]].concat(),
+    ));
+    assert_eq!(many, batch_json);
+}
+
+#[test]
+fn a_killed_worker_is_retried_and_the_report_still_matches() {
+    let dir = temp_dir("crash");
+    let latch = dir.join("crash.latch");
+    let batch = stdout_of(&paper_report(&[CAMPAIGN.as_slice(), &["--json"]].concat()));
+
+    let output = Command::new(env!("CARGO_BIN_EXE_paper-report"))
+        .args([&["distribute", "--workers", "3"], CAMPAIGN.as_slice(), &["--json"]].concat())
+        .env("MP_SHARD_WORKER_CRASH_ONCE", &latch)
+        .output()
+        .expect("paper-report spawns");
+    assert!(
+        latch.exists(),
+        "the crash latch must have been claimed — no worker actually died"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("retrying"),
+        "the coordinator must report the retried range; stderr: {stderr}"
+    );
+    assert_eq!(
+        stdout_of(&output),
+        batch,
+        "a killed worker's range must be retried and the merged report must \
+         still match the batch run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shard_worker_speaks_the_newline_json_protocol() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_paper-report"))
+        .arg("shard-worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("shard-worker spawns");
+    {
+        let mut stdin = child.stdin.take().expect("worker stdin");
+        // One valid assignment (APs [1, 3) of the 4-AP campaign), then two
+        // malformed lines; the worker must answer all three and exit on EOF.
+        writeln!(
+            stdin,
+            "{}",
+            concat!(
+                "{\"op\":\"shard_run\",\"config\":{\"seed\":13,",
+                "\"fleet_clients\":2000,\"fleet_aps\":4,\"fleet_days\":3,",
+                "\"fleet_churn\":0.2},\"first_ap\":1,\"aps\":2}"
+            )
+        )
+        .expect("write assignment");
+        writeln!(stdin, "{{\"op\":\"fly\"}}").expect("write bad op");
+        writeln!(stdin, "not json").expect("write garbage");
+    }
+    let output = child.wait_with_output().expect("worker exits");
+    assert!(output.status.success(), "EOF is a clean exit");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 replies");
+    let replies: Vec<&str> = stdout.lines().collect();
+    assert_eq!(replies.len(), 3, "one reply line per assignment: {stdout}");
+    assert!(
+        replies[0].contains("\"type\":\"shard_result\"")
+            && replies[0].contains("\"first_ap\":1")
+            && replies[0].contains("\"aps\":2")
+            && replies[0].contains("\"kind\":\"mp-campaign-checkpoint\""),
+        "got: {}",
+        replies[0]
+    );
+    assert!(
+        replies[1].contains("\"type\":\"error\"") && replies[1].contains("unknown worker op"),
+        "got: {}",
+        replies[1]
+    );
+    assert!(
+        replies[2].contains("\"type\":\"error\"") && replies[2].contains("not valid JSON"),
+        "got: {}",
+        replies[2]
+    );
+}
+
+#[test]
+fn distribute_rejects_undistributable_configurations() {
+    let assert_rejected = |args: &[&str], expected: &str| {
+        let output = paper_report(args);
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "args {args:?} should be a usage error"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains(expected),
+            "args {args:?}: stderr {stderr:?} does not mention {expected:?}"
+        );
+    };
+    // distribute is a dedicated multi-day campaign_fleet operation.
+    assert_rejected(&["distribute", "--workers", "3"], "--only campaign_fleet");
+    assert_rejected(
+        &["distribute", "--workers", "3", "--only", "campaign_fleet"],
+        "--fleet-days",
+    );
+    assert_rejected(
+        &[&["distribute", "--workers", "0"], CAMPAIGN.as_slice()].concat(),
+        "--workers must be at least 1",
+    );
+    assert_rejected(
+        &[
+            &["distribute", "--workers", "3"],
+            CAMPAIGN.as_slice(),
+            &["--global-event-budget", "1000"],
+        ]
+        .concat(),
+        "--global-event-budget",
+    );
+    // The scheduling-only flags never reach the batch parser...
+    assert_rejected(&[CAMPAIGN.as_slice(), &["--workers", "3"]].concat(), "distribute");
+}

@@ -393,8 +393,9 @@ fn simulate_ap(
 }
 
 /// Divides `total` into `parts` nearly equal slices (earlier slices take the
-/// remainder).
-fn share(total: usize, parts: usize, index: usize) -> usize {
+/// remainder). Shared with the shard planner (`distrib`), so coordinator
+/// range splits and seed-sweep shard splits agree.
+pub(super) fn share(total: usize, parts: usize, index: usize) -> usize {
     total / parts + usize::from(index < total % parts)
 }
 
@@ -647,7 +648,8 @@ mod tests {
         // worlds, ADOPT_TAG for the adoption draws), across several campaign
         // seeds. The old additive offsets collided as soon as offsets
         // overlapped; hashed streams do not.
-        use super::super::multiday::VISIT_TAG;
+        use super::super::distrib::SEAT_TAG;
+        use super::super::multiday::{DAY_TAG, VISIT_TAG};
         use super::super::surface::{cell_tag, ADOPT_TAG, SURFACE_TAG};
         let mut seen = HashSet::new();
         let mut expected = 0usize;
@@ -659,6 +661,20 @@ mod tests {
                 seen.insert(mix_seed(campaign_seed, index));
                 seen.insert(mix_seed(campaign_seed, PROFILE_TAG ^ index));
                 expected += 3;
+            }
+            // The per-day streams derive a second generation of seeds: each
+            // day's seed feeds per-(day, AP) seat streams (SEAT_TAG) and
+            // per-(day, AP) simulation seeds (untagged). All of them must
+            // stay disjoint from each other and from the first generation.
+            for day in 1..=8u64 {
+                let day_seed = mix_seed(campaign_seed, DAY_TAG ^ day);
+                seen.insert(day_seed);
+                expected += 1;
+                for ap in 0..64u64 {
+                    seen.insert(mix_seed(day_seed, SEAT_TAG ^ ap));
+                    seen.insert(mix_seed(day_seed, ap));
+                    expected += 2;
+                }
             }
             // Surface grid cells use packed (vector, delay, wan, jitter)
             // coordinates; sweep a grid larger than any realistic run.

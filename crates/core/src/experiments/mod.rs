@@ -24,12 +24,14 @@
 //! ```
 
 mod campaign;
+mod distrib;
 mod figures;
 mod multiday;
 mod surface;
 mod tables;
 
 pub use campaign::{ApProfile, CampaignFleetResult};
+pub use distrib::{run_campaign_shard, ShardOutcome, ShardPlan};
 pub use multiday::{
     run_campaign_with_checkpoint, run_campaign_with_checkpoint_ctx, DayStats,
 };

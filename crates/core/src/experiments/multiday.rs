@@ -26,29 +26,35 @@
 //!   never carried), so a compact JSON checkpoint written after each day
 //!   allows a killed N-day campaign to resume and produce a byte-identical
 //!   final artifact.
+//!
+//! The day loop itself lives in the `distrib` module as the full-coverage
+//! special case of a *shard*: each AP owns a statically pinned seat slice
+//! and a private per-day RNG stream, so any contiguous AP range runs
+//! independently (on worker processes or machines) and partial outcomes
+//! merge back into the identical artifact.
+//!
+//! [`ChurningObject`]: mp_webgen::ChurningObject
+//! [`StabilityClass::SlowChurn`]: mp_webgen::StabilityClass::SlowChurn
 
-use super::campaign::{
-    fleet_jobs, mix_seed, plan_ap_tasks, requests_unprepared_object, simulate_ap_with,
-    CampaignFleetResult,
+use super::campaign::{mix_seed, CampaignFleetResult};
+use super::distrib::{
+    load_checkpoint, run_shard, validate_campaign, ShardOutcome, ShardPlan,
 };
-use super::{parallel_tasks, ExperimentError, RunConfig, RunCtx};
+use super::{ExperimentError, RunConfig, RunCtx};
 use crate::json::{Json, ToJson};
 use mp_netsim::dist::Dist;
-use mp_netsim::error::NetError;
-use mp_netsim::sim::SharedBudget;
-use mp_webgen::{ChurningObject, StabilityClass};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
 /// Seed-stream tag for per-day RNG streams: day `d` draws from
 /// `mix_seed(campaign_seed, DAY_TAG ^ d)`, disjoint from the per-AP, shard
 /// and profile streams of the campaign module.
-const DAY_TAG: u64 = 0xda75_0000_0000_0000;
+pub(super) const DAY_TAG: u64 = 0xda75_0000_0000_0000;
 
 /// Seed-stream tag for the target object's initial content hash.
-const TARGET_TAG: u64 = 0x7a26_e700_0000_0000;
+pub(super) const TARGET_TAG: u64 = 0x7a26_e700_0000_0000;
 
 /// Seed-stream tag for the per-seat daily-visit probability draw
 /// (`fleet_visit_prob < 1`): one [`Dist::Triangular`] sample per seat,
@@ -62,9 +68,6 @@ pub(super) const VISIT_TAG: u64 = 0x7151_7000_0000_0000;
 /// help. Shared with the attack-surface sweep, whose steady-state fixed
 /// point uses the same daily cure rate.
 pub(super) const DAILY_CACHE_CLEAR: f64 = 0.01;
-
-/// Checkpoint format version written by [`write_checkpoint`].
-const CHECKPOINT_VERSION: u64 = 1;
 
 // ---------------------------------------------------------------------------
 // Day statistics
@@ -145,129 +148,27 @@ impl DayStats {
 }
 
 // ---------------------------------------------------------------------------
-// Campaign state
-// ---------------------------------------------------------------------------
-
-/// Fleet-wide counters accumulated across all days (they feed the merged
-/// [`CampaignFleetResult`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct Cumulative {
-    total_events: u64,
-    payload_bytes: u64,
-    injected_events: u64,
-    pending_bytes_dropped: u64,
-    failed_aps: usize,
-}
-
-/// The full resumable state of a multi-day campaign after `day` completed
-/// days. Everything a checkpoint must carry: per-day RNG streams are derived
-/// from the campaign seed, never from carried RNG state.
-struct CampaignState {
-    /// Completed days.
-    day: u32,
-    /// Per-seat infection state.
-    infected: Vec<bool>,
-    /// The target object under Figure 3 churn.
-    target: ChurningObject,
-    /// Per-day statistics so far.
-    day_stats: Vec<DayStats>,
-    /// Fleet-wide counters so far.
-    cumulative: Cumulative,
-}
-
-impl CampaignState {
-    /// Day-zero state: everyone clean, the target object fresh.
-    fn fresh(config: &RunConfig) -> CampaignState {
-        CampaignState {
-            day: 0,
-            infected: vec![false; config.fleet_clients],
-            target: ChurningObject::new(
-                "/my.js",
-                StabilityClass::SlowChurn,
-                mix_seed(config.seed, TARGET_TAG),
-            ),
-            day_stats: Vec::new(),
-            cumulative: Cumulative::default(),
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// The day loop
+// The (single-process) campaign loop
 // ---------------------------------------------------------------------------
 
 /// Runs a multi-day churn campaign, optionally checkpointing after every
 /// completed day. Called from the registry runner (`fleet_days > 1`, no
-/// checkpoint) and from [`run_campaign_with_checkpoint`].
+/// checkpoint) and from [`run_campaign_with_checkpoint`]. This is the
+/// full-coverage special case of the shard engine: one [`ShardPlan`]
+/// spanning every AP, run to the configured horizon in this process.
 pub(super) fn run_multiday(
     config: &RunConfig,
     ctx: &RunCtx,
     checkpoint: Option<&Path>,
 ) -> Result<CampaignFleetResult, ExperimentError> {
-    if !(0.0..=1.0).contains(&config.fleet_churn) {
-        return Err(ExperimentError::Config(format!(
-            "fleet_churn must be a fraction in [0, 1], got {}",
-            config.fleet_churn
-        )));
-    }
-    if !(0.0..=1.0).contains(&config.fleet_visit_prob) {
-        return Err(ExperimentError::Config(format!(
-            "fleet_visit_prob must be a probability in [0, 1], got {}",
-            config.fleet_visit_prob
-        )));
-    }
-    // Surface an overpacked fleet before day one instead of inside a worker.
-    plan_ap_tasks(config, config.seed, config.fleet_clients)?;
-
-    let days = config.fleet_days.max(1);
-    let mut state = match checkpoint {
+    validate_campaign(config)?;
+    let plan = ShardPlan::full(config);
+    let mut outcome = match checkpoint {
         Some(path) if path.exists() => load_checkpoint(path, config)?,
-        _ => CampaignState::fresh(config),
+        _ => ShardOutcome::fresh(config, plan)?,
     };
-    let shared = ctx.budget_for(config);
-    // Per-seat visit probabilities are a pure function of the campaign seed,
-    // so a resumed run recomputes the same habits it checkpointed under.
-    let visit_probs = seat_visit_probs(config);
-
-    // Replay checkpoint-restored days through the sink so a streaming
-    // watcher always sees the complete day series, resumed or not.
-    if let Some(sink) = &ctx.day_sink {
-        for day in &state.day_stats {
-            sink.emit(day);
-        }
-    }
-
-    while state.day < days {
-        // Cooperative cancellation lands exactly on a day boundary: the
-        // checkpoint written after the last completed day stays valid, so a
-        // cancelled campaign resumes byte-identically.
-        if ctx.cancel.is_cancelled() {
-            return Err(ExperimentError::Cancelled { completed_days: state.day });
-        }
-        let day = state.day + 1;
-        run_day(config, &mut state, day, shared.as_ref(), visit_probs.as_deref())?;
-        if let Some(path) = checkpoint {
-            write_checkpoint(path, config, &state)?;
-        }
-        if let Some(sink) = &ctx.day_sink {
-            sink.emit(state.day_stats.last().expect("day just completed"));
-        }
-    }
-
-    let infected_clients = state.infected.iter().filter(|&&i| i).count();
-    Ok(CampaignFleetResult {
-        shards: config.fleet_shards.max(1).min(config.fleet_aps.max(1)),
-        aps: config.fleet_aps.max(1),
-        clients: config.fleet_clients,
-        infected_clients,
-        clean_clients: config.fleet_clients - infected_clients,
-        failed_aps: state.cumulative.failed_aps,
-        total_events: state.cumulative.total_events,
-        payload_bytes: state.cumulative.payload_bytes,
-        injected_events: state.cumulative.injected_events,
-        pending_bytes_dropped: state.cumulative.pending_bytes_dropped,
-        day_stats: state.day_stats,
-    })
+    run_shard(config, plan, ctx, &mut outcome, checkpoint, config.fleet_days.max(1))?;
+    outcome.into_fleet_result(config)
 }
 
 /// Draws the per-seat daily-visit probabilities, or `None` at the default
@@ -280,7 +181,8 @@ pub(super) fn run_multiday(
 /// regulars and rare visitors coexist. The draw composes with
 /// `--fleet-hetero` (per-AP profiles) because the streams are disjoint:
 /// seats own *whether* they show up, APs own *how* the race plays out.
-fn seat_visit_probs(config: &RunConfig) -> Option<Vec<f64>> {
+/// Indexed by global seat, so every shard computes the same habits.
+pub(super) fn seat_visit_probs(config: &RunConfig) -> Option<Vec<f64>> {
     if config.fleet_visit_prob >= 1.0 {
         return None;
     }
@@ -298,167 +200,8 @@ fn seat_visit_probs(config: &RunConfig) -> Option<Vec<f64>> {
     )
 }
 
-/// One AP's slice of a day's exposure sweep: the planned AP task plus the
-/// start offset of its clients within the day's exposed-seat list.
-struct DayApTask {
-    task: super::campaign::ApTask,
-    start: usize,
-}
-
-/// Advances the campaign by one day: object churn, seat churn, cache clears,
-/// then the packet-level exposure sweep for every clean seat.
-fn run_day(
-    config: &RunConfig,
-    state: &mut CampaignState,
-    day: u32,
-    shared: Option<&SharedBudget>,
-    visit_probs: Option<&[f64]>,
-) -> Result<(), ExperimentError> {
-    let day_seed = mix_seed(config.seed, DAY_TAG ^ day as u64);
-    let mut rng = StdRng::seed_from_u64(day_seed);
-
-    // 1. Figure 3 object churn: the target object's site may rename it,
-    //    which breaks every parasite riding on the old cache key. The master
-    //    only discovers the rotation on its next crawl, so today's races are
-    //    armed with the *stale* object and miss; re-infection resumes
-    //    tomorrow — the collapse-and-recover dynamics of Figure 3.
-    let renames_before = state.target.renames;
-    state.target.advance_day(&mut rng);
-    let object_rotated = state.target.renames != renames_before;
-    let mut rotation_cured = 0usize;
-    if object_rotated {
-        for seat in state.infected.iter_mut() {
-            if *seat {
-                *seat = false;
-                rotation_cured += 1;
-            }
-        }
-    }
-
-    // 2. Seat churn: a `fleet_churn` fraction of occupants departs (taking
-    //    their cache with them) and is replaced by fresh clean arrivals.
-    let mut departures = 0usize;
-    if config.fleet_churn > 0.0 {
-        for seat in state.infected.iter_mut() {
-            if rng.gen_bool(config.fleet_churn) {
-                departures += 1;
-                *seat = false;
-            }
-        }
-    }
-
-    // 3. Cache clears: the only refresh that removes the parasite
-    //    (Table III), done by a small share of infected residents daily.
-    let mut cache_clears = 0usize;
-    for seat in state.infected.iter_mut() {
-        if *seat && rng.gen_bool(DAILY_CACHE_CLEAR) {
-            *seat = false;
-            cache_clears += 1;
-        }
-    }
-
-    // 4. Exposure: every clean seat that visits today browses through the
-    //    hostile AP and goes through the injection race. Under the visit
-    //    model each clean seat first rolls its personal daily-visit habit
-    //    (one draw per clean seat, in seat order, from the day stream);
-    //    infected seats serve from cache and draw nothing — persistence
-    //    costs neither packets nor randomness.
-    let exposed_seats: Vec<u32> = state
-        .infected
-        .iter()
-        .enumerate()
-        .filter(|(seat, &infected)| {
-            !infected && visit_probs.is_none_or(|probs| rng.gen_bool(probs[*seat]))
-        })
-        .map(|(seat, _)| seat as u32)
-        .collect();
-    let exposed = exposed_seats.len();
-
-    let tasks = plan_ap_tasks(config, day_seed, exposed)?;
-    let aps = tasks.len();
-    let mut day_tasks = Vec::with_capacity(aps);
-    let mut start = 0usize;
-    for task in tasks {
-        let clients = task.clients;
-        day_tasks.push(DayApTask { task, start });
-        start += clients;
-    }
-
-    let jobs = fleet_jobs(config, aps);
-    let outcomes = parallel_tasks(&day_tasks, jobs, |day_task| {
-        // A seat keeps its browsing habit across days: the unprepared-object
-        // trait is pinned to the campaign seat, not to today's local index.
-        // On a rotation day every request is effectively "unprepared" — the
-        // master's forged response still carries the stale object name, so
-        // no race lands until it re-crawls overnight.
-        let unprepared = |local: usize| {
-            object_rotated
-                || requests_unprepared_object(exposed_seats[day_task.start + local] as usize)
-        };
-        simulate_ap_with(&day_task.task, config, shared, &unprepared, true)
-    });
-
-    let mut newly_infected = 0usize;
-    let mut failed_aps = 0usize;
-    let mut events = 0u64;
-    for (outcome, day_task) in outcomes.into_iter().zip(&day_tasks) {
-        match outcome {
-            Ok(ap) => {
-                newly_infected += ap.infected;
-                events += ap.events;
-                state.cumulative.payload_bytes += ap.payload_bytes;
-                state.cumulative.injected_events += ap.injected_events;
-                state.cumulative.pending_bytes_dropped += ap.pending_bytes_dropped;
-                for (local, &got_parasite) in ap.infected_flags.iter().enumerate() {
-                    if got_parasite {
-                        state.infected[exposed_seats[day_task.start + local] as usize] = true;
-                    }
-                }
-            }
-            // A failed AP leaves its exposed seats clean; they are raced
-            // again tomorrow.
-            Err(_) => failed_aps += 1,
-        }
-    }
-    state.cumulative.total_events += events;
-    state.cumulative.failed_aps += failed_aps;
-
-    if failed_aps == aps && exposed > 0 {
-        return Err(ExperimentError::Net(NetError::EventBudgetExhausted {
-            budget: shared.map(SharedBudget::total).unwrap_or(config.event_budget),
-        }));
-    }
-    if let Some(shared) = shared {
-        // A drained global pool means part of today's fleet starved: fail the
-        // campaign with the typed error instead of limping on silently.
-        if failed_aps > 0 && shared.exhausted() {
-            return Err(ExperimentError::Net(NetError::EventBudgetExhausted {
-                budget: shared.total(),
-            }));
-        }
-    }
-
-    let infected = state.infected.iter().filter(|&&seat| seat).count();
-    state.day = day;
-    state.day_stats.push(DayStats {
-        day,
-        departures,
-        arrivals: departures,
-        cache_clears,
-        object_rotated,
-        rotation_cured,
-        exposed,
-        newly_infected,
-        failed_aps,
-        infected,
-        clean: state.infected.len() - infected,
-        events,
-    });
-    Ok(())
-}
-
 // ---------------------------------------------------------------------------
-// Checkpoint codec
+// Checkpointed entry points
 // ---------------------------------------------------------------------------
 
 /// Runs a multi-day campaign with per-day checkpointing: after every
@@ -476,9 +219,10 @@ fn run_day(
 ///
 /// The checkpoint is a compact hand-rolled JSON document (`parasite::json`):
 /// the campaign configuration fingerprint, the completed-day count, the
-/// Figure 3 target-object state, the per-seat infection bitmap (hex-encoded
-/// 64-seat words) and the day-by-day statistics. A checkpoint written under
-/// a different configuration is rejected with
+/// Figure 3 target-object state, per-AP-range seat bitmaps (hex-encoded
+/// 64-seat words) and the day-by-day statistics — the same partial-
+/// checkpoint codec shard workers emit, restricted to full coverage. A
+/// checkpoint written under a different configuration is rejected with
 /// [`ExperimentError::Checkpoint`].
 pub fn run_campaign_with_checkpoint(
     config: &RunConfig,
@@ -503,224 +247,12 @@ pub fn run_campaign_with_checkpoint_ctx(
     run_multiday(config, ctx, Some(checkpoint))
 }
 
-/// The configuration fields a checkpoint pins. Anything that changes the
-/// campaign's deterministic trajectory must appear here — and *nothing*
-/// else: pure scheduling hints (`fleet_jobs`, `fleet_shards`) and fields
-/// other experiments own (`scale`, `sites`, the surface axes, …) are
-/// deliberately excluded, so a campaign can resume under a different
-/// `--jobs`/`--fleet-shards` and still produce byte-identical output
-/// (pinned by `resume_accepts_different_scheduling_hints`).
-fn config_fingerprint(config: &RunConfig) -> Json {
-    Json::obj([
-        ("seed", config.seed.to_json()),
-        ("fleet_clients", config.fleet_clients.to_json()),
-        ("fleet_aps", config.fleet_aps.to_json()),
-        ("fleet_days", config.fleet_days.to_json()),
-        ("fleet_churn", config.fleet_churn.to_json()),
-        ("fleet_hetero", config.fleet_hetero.to_json()),
-        ("fleet_visit_prob", config.fleet_visit_prob.to_json()),
-        ("jitter_us", config.jitter_us.to_json()),
-        ("event_budget", config.event_budget.to_json()),
-    ])
-}
-
-/// Hex-encodes the seat bitmap as 64-seat words.
-fn encode_bitmap(infected: &[bool]) -> Json {
-    let words = infected.chunks(64).map(|chunk| {
-        let mut word = 0u64;
-        for (bit, &seat) in chunk.iter().enumerate() {
-            if seat {
-                word |= 1 << bit;
-            }
-        }
-        Json::Str(format!("{word:016x}"))
-    });
-    Json::Arr(words.collect())
-}
-
-/// Decodes [`encode_bitmap`] output back into `seats` booleans.
-fn decode_bitmap(json: &Json, seats: usize) -> Option<Vec<bool>> {
-    let words = json.as_array()?;
-    if words.len() != seats.div_ceil(64) {
-        return None;
-    }
-    let mut infected = Vec::with_capacity(seats);
-    for word in words {
-        let word = u64::from_str_radix(word.as_str()?, 16).ok()?;
-        for bit in 0..64 {
-            if infected.len() == seats {
-                // Bits beyond the population must be zero padding.
-                if word >> bit != 0 {
-                    return None;
-                }
-                break;
-            }
-            infected.push(word & (1 << bit) != 0);
-        }
-    }
-    (infected.len() == seats).then_some(infected)
-}
-
-/// Serialises the resumable campaign state.
-fn checkpoint_json(config: &RunConfig, state: &CampaignState) -> Json {
-    Json::obj([
-        ("version", CHECKPOINT_VERSION.to_json()),
-        ("kind", "mp-campaign-checkpoint".to_json()),
-        ("config", config_fingerprint(config)),
-        ("completed_days", state.day.to_json()),
-        (
-            "target",
-            Json::obj([
-                ("day", state.target.day.to_json()),
-                ("renames", state.target.renames.to_json()),
-                ("content_changes", state.target.content_changes.to_json()),
-                ("current_path", state.target.current_path.to_json()),
-                ("current_hash", Json::Str(format!("{:016x}", state.target.current_hash))),
-            ]),
-        ),
-        ("infected", encode_bitmap(&state.infected)),
-        (
-            "cumulative",
-            Json::obj([
-                ("total_events", state.cumulative.total_events.to_json()),
-                ("payload_bytes", state.cumulative.payload_bytes.to_json()),
-                ("injected_events", state.cumulative.injected_events.to_json()),
-                (
-                    "pending_bytes_dropped",
-                    state.cumulative.pending_bytes_dropped.to_json(),
-                ),
-                ("failed_aps", state.cumulative.failed_aps.to_json()),
-            ]),
-        ),
-        ("days", state.day_stats.to_json()),
-    ])
-}
-
-/// Writes the checkpoint atomically (temp file in the same directory, then
-/// rename), so a kill mid-write leaves the previous day's checkpoint intact.
-///
-/// The temp name carries the pid and a process-wide counter: two writers
-/// pointed at the same checkpoint path (concurrent runs, or shard workers of
-/// a future parallel day loop) must not scribble into one shared temp file —
-/// with a fixed `.tmp` suffix, writer A's rename could publish writer B's
-/// half-written document. Unique temp names keep every rename atomic and
-/// whole-file.
-fn write_checkpoint(
-    path: &Path,
-    config: &RunConfig,
-    state: &CampaignState,
-) -> Result<(), ExperimentError> {
-    static WRITER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let document = checkpoint_json(config, state).to_string();
-    let mut temp = path.to_path_buf();
-    let mut name = path.file_name().unwrap_or_default().to_os_string();
-    name.push(format!(
-        ".tmp.{}.{}",
-        std::process::id(),
-        WRITER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-    ));
-    temp.set_file_name(name);
-    std::fs::write(&temp, document)
-        .and_then(|()| std::fs::rename(&temp, path))
-        .map_err(|error| {
-            // Leave no orphan behind if the rename (not the write) failed.
-            let _ = std::fs::remove_file(&temp);
-            ExperimentError::Checkpoint(format!("writing {} failed: {error}", path.display()))
-        })
-}
-
-/// Loads and validates a checkpoint written by [`write_checkpoint`].
-fn load_checkpoint(path: &Path, config: &RunConfig) -> Result<CampaignState, ExperimentError> {
-    let corrupt = || {
-        ExperimentError::Checkpoint(format!(
-            "{} is not a valid campaign checkpoint",
-            path.display()
-        ))
-    };
-    let text = std::fs::read_to_string(path).map_err(|error| {
-        ExperimentError::Checkpoint(format!("reading {} failed: {error}", path.display()))
-    })?;
-    let json = Json::parse(&text).map_err(|_| corrupt())?;
-    if json.get("kind").and_then(Json::as_str) != Some("mp-campaign-checkpoint")
-        || json.get("version").and_then(Json::as_u64) != Some(CHECKPOINT_VERSION)
-    {
-        return Err(corrupt());
-    }
-    let fingerprint = config_fingerprint(config);
-    if json.get("config") != Some(&fingerprint) {
-        return Err(ExperimentError::Checkpoint(format!(
-            "{} was written under a different campaign configuration; \
-             delete it or rerun with the original flags",
-            path.display()
-        )));
-    }
-
-    let day = json.get("completed_days").and_then(Json::as_u64).ok_or_else(corrupt)? as u32;
-    let infected = json
-        .get("infected")
-        .and_then(|bitmap| decode_bitmap(bitmap, config.fleet_clients))
-        .ok_or_else(corrupt)?;
-
-    let target_json = json.get("target").ok_or_else(corrupt)?;
-    let mut target = CampaignState::fresh(config).target;
-    target.day = target_json.get("day").and_then(Json::as_u64).ok_or_else(corrupt)? as u32;
-    target.renames = target_json.get("renames").and_then(Json::as_u64).ok_or_else(corrupt)? as u32;
-    target.content_changes = target_json
-        .get("content_changes")
-        .and_then(Json::as_u64)
-        .ok_or_else(corrupt)? as u32;
-    target.current_path = target_json
-        .get("current_path")
-        .and_then(Json::as_str)
-        .ok_or_else(corrupt)?
-        .to_string();
-    target.current_hash = target_json
-        .get("current_hash")
-        .and_then(Json::as_str)
-        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
-        .ok_or_else(corrupt)?;
-
-    let cumulative_json = json.get("cumulative").ok_or_else(corrupt)?;
-    let cumulative = Cumulative {
-        total_events: cumulative_json.get("total_events").and_then(Json::as_u64).ok_or_else(corrupt)?,
-        payload_bytes: cumulative_json.get("payload_bytes").and_then(Json::as_u64).ok_or_else(corrupt)?,
-        injected_events: cumulative_json
-            .get("injected_events")
-            .and_then(Json::as_u64)
-            .ok_or_else(corrupt)?,
-        pending_bytes_dropped: cumulative_json
-            .get("pending_bytes_dropped")
-            .and_then(Json::as_u64)
-            .ok_or_else(corrupt)?,
-        failed_aps: cumulative_json
-            .get("failed_aps")
-            .and_then(Json::as_u64)
-            .ok_or_else(corrupt)? as usize,
-    };
-
-    let day_stats = json
-        .get("days")
-        .and_then(Json::as_array)
-        .ok_or_else(corrupt)?
-        .iter()
-        .map(DayStats::from_json)
-        .collect::<Option<Vec<DayStats>>>()
-        .ok_or_else(corrupt)?;
-    if day_stats.len() != day as usize {
-        return Err(corrupt());
-    }
-
-    Ok(CampaignState {
-        day,
-        infected,
-        target,
-        day_stats,
-        cumulative,
-    })
-}
-
 #[cfg(test)]
 mod tests {
+    use super::super::distrib::{
+        decode_bitmap, encode_bitmap, load_checkpoint, run_shard, write_checkpoint, ShardOutcome,
+        ShardPlan,
+    };
     use super::super::{CancelToken, DaySink, ExperimentId, Registry, RunConfig};
     use super::*;
 
@@ -734,6 +266,16 @@ mod tests {
             fleet_jobs: 1,
             ..RunConfig::default()
         }
+    }
+
+    /// Runs the full-coverage shard to `days` completed days — the state a
+    /// kill after day `days` would have left checkpointed.
+    fn snapshot_after(config: &RunConfig, days: u32) -> ShardOutcome {
+        let plan = ShardPlan::full(config);
+        let mut outcome = ShardOutcome::fresh(config, plan).expect("fresh state");
+        run_shard(config, plan, &RunCtx::default(), &mut outcome, None, days)
+            .expect("days run");
+        outcome
     }
 
     #[test]
@@ -766,9 +308,10 @@ mod tests {
         let first = Registry::get(ExperimentId::CampaignFleet).run(&config);
         let second = Registry::get(ExperimentId::CampaignFleet).run(&config);
         assert_eq!(first, second);
-        // Day-boundary barriers make fleet_shards a scheduling hint for the
-        // multi-day loop: every number in the artifact is identical across
-        // shard counts (only the reported `shards` field echoes the request).
+        // Per-AP seat slices and RNG streams make fleet_shards a scheduling
+        // hint for the multi-day loop: every number in the artifact is
+        // identical across shard counts (only the reported `shards` field
+        // echoes the request).
         let sharded = Registry::get(ExperimentId::CampaignFleet)
             .run(&RunConfig { fleet_shards: 4, ..config });
         let (a, b) = (
@@ -852,19 +395,12 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let full = run_campaign_with_checkpoint(&config, &path).expect("full run");
         assert_eq!(full, reference);
-        // Rewind the checkpoint to day 2 by re-running the day loop fresh and
-        // capturing the intermediate file.
+        // Rewind the checkpoint to day 2 by re-running the day loop fresh
+        // under the *full* fingerprint and capturing the intermediate state.
         let _ = std::fs::remove_file(&path);
         let snapshot_path = dir.join("campaign.day2.json");
-        {
-            // Write a day-2 snapshot by running two days under the *full*
-            // fingerprint: drive run_multiday directly with an early horizon.
-            let mut state = CampaignState::fresh(&config);
-            for day in 1..=2 {
-                run_day(&config, &mut state, day, None, None).expect("day runs");
-            }
-            write_checkpoint(&snapshot_path, &config, &state).expect("snapshot written");
-        }
+        write_checkpoint(&snapshot_path, &config, &snapshot_after(&config, 2))
+            .expect("snapshot written");
         std::fs::rename(&snapshot_path, &path).expect("install snapshot");
         let resumed = run_campaign_with_checkpoint(&config, &path).expect("resumed run");
         assert_eq!(resumed, reference, "resume must be byte-identical");
@@ -899,11 +435,8 @@ mod tests {
         let reference = run_campaign_with_checkpoint(&config, &path).expect("reference run");
 
         // Snapshot day 2 under the single-threaded config...
-        let mut state = CampaignState::fresh(&config);
-        for day in 1..=2 {
-            run_day(&config, &mut state, day, None, None).expect("day runs");
-        }
-        write_checkpoint(&path, &config, &state).expect("snapshot written");
+        write_checkpoint(&path, &config, &snapshot_after(&config, 2))
+            .expect("snapshot written");
 
         // ...and resume under different jobs/shards. Only the echoed
         // `shards` field may differ from the reference.
@@ -934,12 +467,8 @@ mod tests {
         let _ = std::fs::remove_file(&path);
 
         let config = churn_config();
-        let mut one_day = CampaignState::fresh(&config);
-        run_day(&config, &mut one_day, 1, None, None).expect("day runs");
-        let mut two_days = CampaignState::fresh(&config);
-        for day in 1..=2 {
-            run_day(&config, &mut two_days, day, None, None).expect("day runs");
-        }
+        let one_day = snapshot_after(&config, 1);
+        let two_days = snapshot_after(&config, 2);
 
         std::thread::scope(|scope| {
             for _ in 0..4 {
@@ -956,10 +485,9 @@ mod tests {
         // The surviving file is a valid, complete checkpoint of one of the
         // two states.
         let resumed = load_checkpoint(&path, &config).expect("valid checkpoint survives");
-        assert!(resumed.day == 1 || resumed.day == 2);
-        let expected = if resumed.day == 1 { &one_day } else { &two_days };
-        assert_eq!(resumed.infected, expected.infected);
-        assert_eq!(resumed.day_stats, expected.day_stats);
+        assert!(resumed.completed_days() == 1 || resumed.completed_days() == 2);
+        let expected = if resumed.completed_days() == 1 { &one_day } else { &two_days };
+        assert_eq!(&resumed, expected);
         // No orphaned temp files remain.
         let leftovers: Vec<_> = std::fs::read_dir(&dir)
             .expect("dir listing")
@@ -1074,7 +602,7 @@ mod tests {
 
         // The checkpoint left behind is the valid day-2 state...
         let resumable = load_checkpoint(&path, &config).expect("valid checkpoint");
-        assert_eq!(resumable.day, 2);
+        assert_eq!(resumable.completed_days(), 2);
         // ...and a plain resubmission resumes byte-identically.
         let resumed = run_campaign_with_checkpoint(&config, &path).expect("resumed run");
         assert_eq!(resumed, reference);
@@ -1121,12 +649,8 @@ mod tests {
 
         // A resumed run first replays the checkpointed days so the stream is
         // complete from the watcher's point of view.
-        let mut state = CampaignState::fresh(&config);
-        let visit_probs = seat_visit_probs(&config);
-        for day in 1..=2 {
-            run_day(&config, &mut state, day, None, visit_probs.as_deref()).expect("day runs");
-        }
-        write_checkpoint(&path, &config, &state).expect("snapshot written");
+        write_checkpoint(&path, &config, &snapshot_after(&config, 2))
+            .expect("snapshot written");
         seen.lock().expect("sink lock").clear();
         run_campaign_with_checkpoint_ctx(&config, &path, &sink_ctx(&seen))
             .expect("resumed run");

@@ -53,6 +53,20 @@ pub enum Request {
     },
     /// Cancel every run, drain the queue, and exit the daemon.
     Shutdown,
+    /// Execute one campaign shard synchronously on this connection: the
+    /// daemon runs APs `[first_ap, first_ap + aps)` of a multi-day
+    /// `campaign_fleet` described by `config` and replies with a single
+    /// `shard_result` message carrying the partial-checkpoint document.
+    /// Mergeable with sibling shards via the core checkpoint `merge()`.
+    ShardSubmit {
+        /// The full run configuration (worker count and shard hints in it
+        /// are scheduling-only and never affect the outcome).
+        config: Box<RunConfig>,
+        /// First access point of the shard's contiguous AP range.
+        first_ap: usize,
+        /// Number of access points in the shard.
+        aps: usize,
+    },
 }
 
 impl Request {
@@ -84,6 +98,12 @@ impl Request {
                 Json::obj([("op", "cancel".to_json()), ("run", run.to_json())])
             }
             Request::Shutdown => Json::obj([("op", "shutdown".to_json())]),
+            Request::ShardSubmit { config, first_ap, aps } => Json::obj([
+                ("op", "shard_submit".to_json()),
+                ("config", config.to_json()),
+                ("first_ap", (*first_ap as u64).to_json()),
+                ("aps", (*aps as u64).to_json()),
+            ]),
         }
     }
 
@@ -124,6 +144,23 @@ impl Request {
             "watch" => Ok(Request::Watch { run: run_of(json)? }),
             "cancel" => Ok(Request::Cancel { run: run_of(json)? }),
             "shutdown" => Ok(Request::Shutdown),
+            "shard_submit" => {
+                let config = match json.get("config") {
+                    Some(value) => RunConfig::from_json(value)
+                        .ok_or_else(|| "\"config\" is not a run configuration object".to_string())?,
+                    None => RunConfig::default(),
+                };
+                let range_field = |key: &str| {
+                    json.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("shard_submit requires a numeric {key:?} field"))
+                };
+                Ok(Request::ShardSubmit {
+                    config: Box::new(config),
+                    first_ap: range_field("first_ap")? as usize,
+                    aps: range_field("aps")? as usize,
+                })
+            }
             other => Err(format!("unknown op {other:?}")),
         }
     }
@@ -340,10 +377,22 @@ pub enum Response {
         /// Runs that were still queued or running.
         active_runs: u64,
     },
+    /// The finished shard of a `shard_submit` request.
+    ShardResult {
+        /// The run id the shard executed under.
+        run: u64,
+        /// The partial-checkpoint document for the shard — the same wire
+        /// form `--fleet-checkpoint` files and the `distribute` coordinator
+        /// use, mergeable with sibling shards.
+        outcome: Json,
+    },
     /// The request could not be served.
     Error {
         /// What went wrong.
         message: String,
+        /// Optional machine-readable error code (e.g. `"queue_full"`);
+        /// omitted from the wire form when absent.
+        code: Option<String>,
     },
 }
 
@@ -377,8 +426,18 @@ impl Response {
                 ("type", "shutting_down".to_json()),
                 ("active_runs", active_runs.to_json()),
             ]),
-            Response::Error { message } => {
-                Json::obj([("type", "error".to_json()), ("message", message.to_json())])
+            Response::ShardResult { run, outcome } => Json::obj([
+                ("type", "shard_result".to_json()),
+                ("run", run.to_json()),
+                ("outcome", outcome.clone()),
+            ]),
+            Response::Error { message, code } => {
+                let mut pairs =
+                    vec![("type", "error".to_json()), ("message", message.to_json())];
+                if let Some(code) = code {
+                    pairs.push(("code", code.to_json()));
+                }
+                Json::obj(pairs)
             }
         }
     }
@@ -431,12 +490,20 @@ impl Response {
             "shutting_down" => Ok(Response::ShuttingDown {
                 active_runs: json.get("active_runs").and_then(Json::as_u64).unwrap_or(0),
             }),
+            "shard_result" => Ok(Response::ShardResult {
+                run: run_of(json)?,
+                outcome: json
+                    .get("outcome")
+                    .cloned()
+                    .ok_or_else(|| "shard_result response is missing \"outcome\"".to_string())?,
+            }),
             "error" => Ok(Response::Error {
                 message: json
                     .get("message")
                     .and_then(Json::as_str)
                     .unwrap_or("unspecified error")
                     .to_string(),
+                code: json.get("code").and_then(Json::as_str).map(str::to_string),
             }),
             other => Err(format!("unknown response type {other:?}")),
         }
@@ -480,6 +547,18 @@ mod tests {
             Request::Watch { run: 1 },
             Request::Cancel { run: 2 },
             Request::Shutdown,
+            Request::ShardSubmit {
+                config: Box::new(RunConfig {
+                    seed: 11,
+                    fleet_clients: 4_000,
+                    fleet_aps: 16,
+                    fleet_days: 4,
+                    fleet_churn: 0.2,
+                    ..RunConfig::default()
+                }),
+                first_ap: 4,
+                aps: 8,
+            },
         ];
         for request in submissions {
             let line = request.to_json().to_string();
@@ -541,7 +620,18 @@ mod tests {
                 outcome: RunOutcome::Failed { message: "event budget exhausted".to_string() },
             },
             Response::ShuttingDown { active_runs: 2 },
-            Response::Error { message: "unknown run 99".to_string() },
+            Response::ShardResult {
+                run: 5,
+                outcome: Json::obj([
+                    ("kind", "mp-campaign-checkpoint".to_json()),
+                    ("completed_days", 3u64.to_json()),
+                ]),
+            },
+            Response::Error { message: "unknown run 99".to_string(), code: None },
+            Response::Error {
+                message: "submission queue is full (limit 4)".to_string(),
+                code: Some("queue_full".to_string()),
+            },
         ];
         for response in responses {
             let line = response.to_json().to_string();
@@ -563,10 +653,36 @@ mod tests {
             "{\"op\": \"submit\", \"experiment\": \"table99\"}"
         )
         .is_err());
+        assert!(Request::parse_line("{\"op\": \"shard_submit\"}")
+            .unwrap_err()
+            .contains("first_ap"));
+        assert!(Request::parse_line("{\"op\": \"shard_submit\", \"first_ap\": 0}")
+            .unwrap_err()
+            .contains("aps"));
+        assert!(Response::parse_line("{\"type\": \"shard_result\", \"run\": 1}")
+            .unwrap_err()
+            .contains("outcome"));
         assert!(Response::parse_line("{\"type\": \"warp\"}")
             .unwrap_err()
             .contains("unknown response type"));
         assert!(Response::parse_line("{}").unwrap_err().contains("\"type\""));
+    }
+
+    #[test]
+    fn error_codes_are_optional_on_the_wire() {
+        let bare = Response::Error { message: "boom".to_string(), code: None };
+        let line = bare.to_json().to_string();
+        assert!(!line.contains("\"code\""), "codeless errors omit the field: {line}");
+        let coded = Response::Error {
+            message: "submission queue is full (limit 1)".to_string(),
+            code: Some("queue_full".to_string()),
+        };
+        assert!(coded.to_json().to_string().contains("\"code\":\"queue_full\""));
+        // Legacy daemons that never send a code still decode cleanly.
+        assert_eq!(
+            Response::parse_line("{\"type\": \"error\", \"message\": \"old\"}"),
+            Ok(Response::Error { message: "old".to_string(), code: None })
+        );
     }
 
     #[test]

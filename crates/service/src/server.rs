@@ -14,14 +14,23 @@
 //! isolation — one greedy campaign cannot starve its neighbours), while
 //! submissions without one fall back to the daemon-wide pool configured at
 //! [`Daemon::start`] time, if any.
+//!
+//! Distributed campaigns: a `shard_submit` request executes one contiguous
+//! AP range of a multi-day campaign **synchronously on its connection
+//! thread** (bypassing the worker queue and the daemon-wide budget pool)
+//! and replies with the shard's mergeable partial-checkpoint document — so
+//! a coordinator can fan a campaign out across daemons and merge the
+//! partials into the byte-identical single-process artifact. The queue
+//! itself can be bounded with [`ServeOptions::queue_limit`]; submissions
+//! past the bound are rejected with a typed `queue_full` error.
 
 use crate::protocol::{Request, Response, RunOutcome, RunState, RunStatus};
 use mp_netsim::sim::SharedBudget;
 use parasite::experiments::{
-    run_campaign_with_checkpoint_ctx, Artifact, ArtifactData, CancelToken, DaySink, DayStats,
-    ExperimentError, ExperimentId, Registry, RunConfig, RunCtx,
+    run_campaign_shard, run_campaign_with_checkpoint_ctx, Artifact, ArtifactData, CancelToken,
+    DaySink, DayStats, ExperimentError, ExperimentId, Registry, RunConfig, RunCtx, ShardPlan,
 };
-use parasite::json::ToJson;
+use parasite::json::{Json, ToJson};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -49,13 +58,23 @@ pub struct ServeOptions {
     /// Daemon-wide event budget pool for submissions that do not carry their
     /// own `global_event_budget`; `0` means unlimited.
     pub global_event_budget: u64,
+    /// Most submissions allowed to sit in the queue (not yet running) at
+    /// once; further submissions are rejected with a `queue_full` error
+    /// until a worker drains the queue. `0` means unbounded.
+    pub queue_limit: usize,
 }
 
 impl ServeOptions {
-    /// Options for a daemon on `socket` with two workers, no TCP listener and
-    /// no daemon-wide budget.
+    /// Options for a daemon on `socket` with two workers, no TCP listener,
+    /// no daemon-wide budget and an unbounded queue.
     pub fn new(socket: impl Into<PathBuf>) -> ServeOptions {
-        ServeOptions { socket: socket.into(), tcp: None, workers: 2, global_event_budget: 0 }
+        ServeOptions {
+            socket: socket.into(),
+            tcp: None,
+            workers: 2,
+            global_event_budget: 0,
+            queue_limit: 0,
+        }
     }
 }
 
@@ -94,6 +113,7 @@ struct Shared {
     queue_ready: Condvar,
     shutdown: AtomicBool,
     pool: Option<SharedBudget>,
+    queue_limit: usize,
     socket: PathBuf,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -129,6 +149,7 @@ impl Daemon {
             shutdown: AtomicBool::new(false),
             pool: (options.global_event_budget > 0)
                 .then(|| SharedBudget::new(options.global_event_budget)),
+            queue_limit: options.queue_limit,
             socket: options.socket.clone(),
             conn_threads: Mutex::new(Vec::new()),
         });
@@ -279,7 +300,7 @@ fn serve_line(shared: &Arc<Shared>, connection: &mut Connection, line: &str) -> 
             let is_shutdown = matches!(request, Request::Shutdown);
             dispatch(shared, connection, request).is_ok() && !is_shutdown
         }
-        Err(message) => connection.write_line(&Response::Error { message }).is_ok(),
+        Err(message) => connection.write_line(&Response::Error { message, code: None }).is_ok(),
     }
 }
 
@@ -298,7 +319,7 @@ fn dispatch(
                     }
                     Ok(())
                 }
-                Err(message) => connection.write_line(&Response::Error { message }),
+                Err((message, code)) => connection.write_line(&Response::Error { message, code }),
             }
         }
         Request::Status { run } => {
@@ -306,6 +327,7 @@ fn dispatch(
             match (run, runs.is_empty()) {
                 (Some(run), true) => connection.write_line(&Response::Error {
                     message: format!("unknown run {run}"),
+                    code: None,
                 }),
                 _ => connection.write_line(&Response::Status { runs }),
             }
@@ -314,7 +336,10 @@ fn dispatch(
             if entry_for(shared, run).is_some() {
                 stream_run(shared, connection, run)
             } else {
-                connection.write_line(&Response::Error { message: format!("unknown run {run}") })
+                connection.write_line(&Response::Error {
+                    message: format!("unknown run {run}"),
+                    code: None,
+                })
             }
         }
         Request::Cancel { run } => match entry_for(shared, run) {
@@ -326,16 +351,29 @@ fn dispatch(
                 shared.queue_ready.notify_all();
                 connection.write_line(&Response::Cancelling { run })
             }
-            None => {
-                connection.write_line(&Response::Error { message: format!("unknown run {run}") })
-            }
+            None => connection.write_line(&Response::Error {
+                message: format!("unknown run {run}"),
+                code: None,
+            }),
         },
         Request::Shutdown => {
             let active_runs = begin_shutdown(shared);
             connection.write_line(&Response::ShuttingDown { active_runs })
         }
+        Request::ShardSubmit { config, first_ap, aps } => {
+            match shard_submit(shared, *config, first_ap, aps) {
+                Ok((run, outcome)) => {
+                    connection.write_line(&Response::ShardResult { run, outcome })
+                }
+                Err((message, code)) => connection.write_line(&Response::Error { message, code }),
+            }
+        }
     }
 }
+
+/// A rejected submission: the error message plus an optional
+/// machine-readable code for typed failures like a full queue.
+type SubmitError = (String, Option<String>);
 
 /// Validates and enqueues a submission, returning the new run id.
 fn submit(
@@ -343,24 +381,33 @@ fn submit(
     experiment: ExperimentId,
     config: RunConfig,
     checkpoint: Option<PathBuf>,
-) -> Result<u64, String> {
+) -> Result<u64, SubmitError> {
     if shared.shutdown.load(Ordering::SeqCst) {
-        return Err("daemon is shutting down; submission rejected".to_string());
+        return Err(("daemon is shutting down; submission rejected".to_string(), None));
     }
     if checkpoint.is_some() {
         // Mirror the CLI's batch-mode contract: checkpoints belong to
         // multi-day campaign_fleet runs only.
         if experiment != ExperimentId::CampaignFleet {
-            return Err(format!(
-                "checkpoint submissions must run campaign_fleet, not {}",
-                experiment.as_str()
+            return Err((
+                format!(
+                    "checkpoint submissions must run campaign_fleet, not {}",
+                    experiment.as_str()
+                ),
+                None,
             ));
         }
         if config.fleet_days < 2 {
-            return Err("checkpoint submissions need fleet_days >= 2".to_string());
+            return Err(("checkpoint submissions need fleet_days >= 2".to_string(), None));
         }
     }
     let mut state = shared.state.lock().unwrap();
+    if shared.queue_limit > 0 && state.queue.len() >= shared.queue_limit {
+        return Err((
+            format!("submission queue is full (limit {})", shared.queue_limit),
+            Some("queue_full".to_string()),
+        ));
+    }
     state.next_run += 1;
     let run = state.next_run;
     let entry = Arc::new(RunEntry {
@@ -377,6 +424,100 @@ fn submit(
     drop(state);
     shared.queue_ready.notify_one();
     Ok(run)
+}
+
+/// Validates and executes one campaign shard **synchronously** on the
+/// calling connection thread, returning the run id and the shard's
+/// partial-checkpoint document.
+///
+/// Shards deliberately bypass both the worker queue (a coordinator fans
+/// shards out across daemons and wants each connection to block until its
+/// shard is done) and the daemon-wide budget pool (a shard sees only its
+/// own APs, so a shared pool would make the merged result depend on
+/// scheduling — the merge's determinism contract forbids that). The run
+/// still gets a table entry, so `status` reports it and `cancel` stops it
+/// at its next day boundary.
+fn shard_submit(
+    shared: &Arc<Shared>,
+    config: RunConfig,
+    first_ap: usize,
+    aps: usize,
+) -> Result<(u64, Json), SubmitError> {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Err(("daemon is shutting down; submission rejected".to_string(), None));
+    }
+    if config.fleet_days < 2 {
+        return Err(("shard submissions need fleet_days >= 2".to_string(), None));
+    }
+    if config.global_event_budget > 0 {
+        return Err((
+            "shard submissions cannot carry a global_event_budget; a budget pool shared \
+             across shards would make the merged result depend on worker scheduling"
+                .to_string(),
+            None,
+        ));
+    }
+    let mut state = shared.state.lock().unwrap();
+    state.next_run += 1;
+    let run = state.next_run;
+    let entry = Arc::new(RunEntry {
+        id: run,
+        experiment: ExperimentId::CampaignFleet,
+        config,
+        checkpoint: None,
+        cancel: CancelToken::new(),
+        progress: Mutex::new(RunProgress::default()),
+        cond: Condvar::new(),
+    });
+    state.runs.insert(run, Arc::clone(&entry));
+    drop(state);
+
+    {
+        let mut progress = entry.progress.lock().unwrap();
+        progress.state = RunState::Running;
+    }
+    entry.cond.notify_all();
+
+    let sink_entry = Arc::clone(&entry);
+    let ctx = RunCtx {
+        shared_budget: None,
+        cancel: entry.cancel.clone(),
+        day_sink: Some(DaySink::new(move |stats: &DayStats| {
+            let mut progress = sink_entry.progress.lock().unwrap();
+            progress.days.push(*stats);
+            drop(progress);
+            sink_entry.cond.notify_all();
+        })),
+    };
+    let plan = ShardPlan { first_ap, aps };
+    let result =
+        catch_unwind(AssertUnwindSafe(|| run_campaign_shard(&entry.config, plan, &ctx)));
+    match result {
+        Ok(Ok(outcome)) => {
+            let document = outcome.to_checkpoint_json(&entry.config);
+            finish(&entry, RunOutcome::Ok { artifact: document.clone() });
+            Ok((run, document))
+        }
+        Ok(Err(ExperimentError::Cancelled { completed_days })) => {
+            finish(&entry, RunOutcome::Cancelled { days_completed: completed_days });
+            Err((format!("shard run {run} was cancelled after {completed_days} days"), None))
+        }
+        Ok(Err(error)) => {
+            let message = error.to_string();
+            finish(&entry, RunOutcome::Failed { message: message.clone() });
+            Err((message, None))
+        }
+        Err(panic) => {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "run panicked".to_string());
+            let message = format!("shard run panicked: {message}");
+            finish(&entry, RunOutcome::Failed { message: message.clone() });
+            Err((message, None))
+        }
+    }
 }
 
 fn entry_for(shared: &Arc<Shared>, run: u64) -> Option<Arc<RunEntry>> {
@@ -406,7 +547,10 @@ fn status(shared: &Arc<Shared>, filter: Option<u64>) -> Vec<RunStatus> {
 /// with the `done` message once the run finishes.
 fn stream_run(shared: &Arc<Shared>, connection: &mut Connection, run: u64) -> io::Result<()> {
     let Some(entry) = entry_for(shared, run) else {
-        return connection.write_line(&Response::Error { message: format!("unknown run {run}") });
+        return connection.write_line(&Response::Error {
+            message: format!("unknown run {run}"),
+            code: None,
+        });
     };
     let mut cursor = 0usize;
     loop {

@@ -4,7 +4,7 @@
 use mp_service::{Client, Daemon, Endpoint, Request, Response, RunOutcome, RunState, ServeOptions};
 use parasite::experiments::{
     run_campaign_with_checkpoint, Artifact, ArtifactData, DayStats, ExperimentId, Registry,
-    RunConfig,
+    RunConfig, ShardOutcome, ShardPlan,
 };
 use parasite::json::ToJson;
 use std::path::{Path, PathBuf};
@@ -234,6 +234,171 @@ fn queued_run_cancelled_before_execution_resolves_with_zero_days() {
 }
 
 #[test]
+fn shard_submissions_merge_to_the_batch_artifact() {
+    let dir = temp_dir("shards");
+    let socket = dir.join("daemon.sock");
+    let config = RunConfig { fleet_days: 3, ..campaign_config(13) };
+    let reference =
+        Registry::get(ExperimentId::CampaignFleet).run(&config).to_json().to_string();
+
+    let daemon = Daemon::start(ServeOptions::new(&socket)).expect("daemon starts");
+
+    // A shard submission runs synchronously on its connection: one request,
+    // one shard_result reply carrying the mergeable partial checkpoint.
+    let mut merged: Option<ShardOutcome> = None;
+    for plan in ShardPlan::split(&config, 3) {
+        let mut client = connect(&socket);
+        let request = Request::ShardSubmit {
+            config: Box::new(config),
+            first_ap: plan.first_ap,
+            aps: plan.aps,
+        };
+        let outcome = match client.request(&request).expect("shard response") {
+            Response::ShardResult { outcome, .. } => outcome,
+            other => panic!("expected shard_result, got {other:?}"),
+        };
+        let outcome =
+            ShardOutcome::from_checkpoint_json(&outcome, &config).expect("partial decodes");
+        merged = Some(match merged {
+            None => outcome,
+            Some(accumulated) => accumulated.merge(outcome).expect("disjoint shards merge"),
+        });
+    }
+    let artifact = Artifact {
+        id: ExperimentId::CampaignFleet,
+        config,
+        data: ArtifactData::CampaignFleet(
+            merged
+                .expect("three shards ran")
+                .into_fleet_result(&config)
+                .expect("full coverage converts"),
+        ),
+    };
+    assert_eq!(
+        artifact.to_json().to_string(),
+        reference,
+        "merged shard submissions must be byte-identical to the batch run"
+    );
+
+    // Shards reject configurations whose merged result could depend on the
+    // scheduling of the shards.
+    let mut client = connect(&socket);
+    let error_for = |client: &mut Client, request: &Request| {
+        match client.request(request).expect("response") {
+            Response::Error { message, .. } => message,
+            other => panic!("expected an error response, got {other:?}"),
+        }
+    };
+    let message = error_for(
+        &mut client,
+        &Request::ShardSubmit {
+            config: Box::new(RunConfig { global_event_budget: 1_000, ..config }),
+            first_ap: 0,
+            aps: 1,
+        },
+    );
+    assert!(message.contains("global_event_budget"), "got: {message}");
+    let message = error_for(
+        &mut client,
+        &Request::ShardSubmit {
+            config: Box::new(RunConfig { fleet_days: 1, ..config }),
+            first_ap: 0,
+            aps: 1,
+        },
+    );
+    assert!(message.contains("fleet_days"), "got: {message}");
+
+    // The shard runs appear in the scheduler table as done/ok.
+    match client.request(&Request::Status { run: None }).expect("status") {
+        Response::Status { runs } => {
+            let done_ok = runs
+                .iter()
+                .filter(|row| {
+                    row.state == RunState::Done && row.outcome.as_deref() == Some("ok")
+                })
+                .count();
+            assert!(done_ok >= 3, "expected three finished shard runs, got {runs:?}");
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+    shutdown_and_wait(daemon, &socket);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bounded_queue_rejects_overflow_with_a_typed_error() {
+    let dir = temp_dir("queue-limit");
+    let socket = dir.join("daemon.sock");
+    let daemon = Daemon::start(ServeOptions {
+        workers: 1,
+        queue_limit: 1,
+        ..ServeOptions::new(&socket)
+    })
+    .expect("daemon starts");
+
+    // A long campaign occupies the single worker for the whole test (it is
+    // cancelled by the shutdown at the end, never run to completion).
+    let mut first = connect(&socket);
+    let occupant = match first
+        .request(&Request::Submit {
+            experiment: ExperimentId::CampaignFleet,
+            config: Box::new(RunConfig { fleet_days: 600, ..campaign_config(17) }),
+            checkpoint: None,
+            watch: false,
+        })
+        .expect("submission response")
+    {
+        Response::Accepted { run, .. } => run,
+        other => panic!("expected accepted, got {other:?}"),
+    };
+    // Wait until the worker has dequeued it, so the queue is empty again.
+    let mut control = connect(&socket);
+    loop {
+        match control.request(&Request::Status { run: Some(occupant) }).expect("status") {
+            Response::Status { runs } if runs[0].state == RunState::Running => break,
+            Response::Status { .. } => {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            other => panic!("expected status, got {other:?}"),
+        }
+    }
+
+    // The queue (bound 1) takes exactly one more submission; the next one
+    // is rejected with the machine-readable queue_full error.
+    let mut second = connect(&socket);
+    match second
+        .request(&Request::Submit {
+            experiment: ExperimentId::CampaignFleet,
+            config: Box::new(campaign_config(19)),
+            checkpoint: None,
+            watch: false,
+        })
+        .expect("submission response")
+    {
+        Response::Accepted { .. } => {}
+        other => panic!("expected accepted, got {other:?}"),
+    }
+    let mut third = connect(&socket);
+    match third
+        .request(&Request::Submit {
+            experiment: ExperimentId::CampaignFleet,
+            config: Box::new(campaign_config(23)),
+            checkpoint: None,
+            watch: false,
+        })
+        .expect("response")
+    {
+        Response::Error { message, code } => {
+            assert_eq!(code.as_deref(), Some("queue_full"), "message: {message}");
+            assert!(message.contains("limit 1"), "got: {message}");
+        }
+        other => panic!("expected a queue_full error, got {other:?}"),
+    }
+    shutdown_and_wait(daemon, &socket);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn protocol_violations_get_pointed_error_responses() {
     let dir = temp_dir("errors");
     let socket = dir.join("daemon.sock");
@@ -242,7 +407,7 @@ fn protocol_violations_get_pointed_error_responses() {
 
     let error_for = |client: &mut Client, request: &Request| {
         match client.request(request).expect("response") {
-            Response::Error { message } => message,
+            Response::Error { message, .. } => message,
             other => panic!("expected an error response, got {other:?}"),
         }
     };
