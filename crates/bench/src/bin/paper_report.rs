@@ -75,6 +75,20 @@ DISTRIBUTE OPTIONS:
     --worker-cmd <cmd>    launch each worker via `sh -c <cmd>` instead of
                           re-executing this binary, e.g.
                           \"ssh host paper-report shard-worker\"
+    --journal <dir>       write each completed shard outcome into <dir>
+                          (atomically, in the checkpoint codec); rerunning
+                          with the same --journal resumes after a
+                          coordinator death, re-executing only the ranges
+                          without a valid entry — the merged report stays
+                          byte-identical to the uninterrupted run
+    --shard-timeout <secs>
+                          kill and requeue a worker silent for this long on
+                          one assignment; 0 derives the deadline from the
+                          first completed shard (5x its duration, floored
+                          at 10s) [default: 0]
+    --retry-limit <n>     per-shard retry budget; a range that keeps failing
+                          is abandoned with a typed error after n retries
+                          (0 = fail on the first error) [default: 3]
 
 OPTIONS:
     --only <ids>          run only these experiments (comma-separated ids,
@@ -386,7 +400,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                      --socket <path>"
                 ));
             }
-            "--workers" | "--worker-cmd" => {
+            "--workers" | "--worker-cmd" | "--journal" | "--shard-timeout" | "--retry-limit" => {
                 return Err(format!(
                     "{arg} splits a campaign across worker processes; use the \
                      distribute subcommand: paper-report distribute \
@@ -693,8 +707,9 @@ mod service {
             Err(error) => {
                 eprintln!(
                     "error: cannot start the daemon on {}: {error}\n\
-                     (a stale socket file from an unclean shutdown must be \
-                     removed by hand)",
+                     (a stale socket from an unclean shutdown is removed \
+                     automatically; this path is either a live daemon or \
+                     not a socket at all)",
                     socket.display()
                 );
                 return ExitCode::from(2);
@@ -980,24 +995,30 @@ mod service {
 mod distribute {
     use super::service::usage_error;
     use super::*;
-    use parasite::experiments::{run_campaign_shard, RunCtx, ShardOutcome, ShardPlan};
+    use parasite::experiments::{
+        run_campaign_shard, scan_journal, write_journal_entry, ExperimentError, FaultKind,
+        FaultPlan, RunCtx, ShardOutcome, ShardPlan, FAULT_PLAN_ENV,
+    };
     use parasite::json::{Json, ToJson};
     use std::collections::VecDeque;
     use std::io::{BufRead, BufReader, Write as _};
+    use std::path::Path;
     use std::process::{Child, Command, Stdio};
-    use std::sync::Mutex;
+    use std::sync::{mpsc, Mutex};
+    use std::time::{Duration, Instant};
 
-    /// Fault-injection hook for the retry tests and the CI smoke: the first
-    /// worker process to atomically create the latch file named by this
-    /// variable dies with exit code 3 *before* replying, so exactly one
-    /// assignment must be retried.
-    const CRASH_ONCE_ENV: &str = "MP_SHARD_WORKER_CRASH_ONCE";
-
-    /// The `shard-worker` loop: serve stdin assignments until EOF.
+    /// The `shard-worker` loop: serve stdin assignments until EOF. A seeded
+    /// `MP_FAULT_PLAN` (see PROTOCOL.md) makes chosen assignments
+    /// misbehave on demand — crash before replying, hang, or garble the
+    /// reply line — so the coordinator's supervision is testable.
     pub fn worker(args: &[String]) -> ExitCode {
         if let Some(stray) = args.first() {
             return usage_error(&format!("unknown shard-worker argument {stray:?}"));
         }
+        let faults = match FaultPlan::from_env() {
+            Ok(faults) => faults,
+            Err(message) => return usage_error(&format!("{FAULT_PLAN_ENV}: {message}")),
+        };
         let stdin = std::io::stdin();
         let mut reader = stdin.lock();
         let mut stdout = std::io::stdout();
@@ -1012,24 +1033,29 @@ mod distribute {
             if line.trim().is_empty() {
                 continue;
             }
-            maybe_crash();
-            let reply = serve_assignment(line.trim());
+            let fault = faults.as_ref().and_then(FaultPlan::claim_assignment);
+            match fault {
+                Some(FaultKind::Crash) => std::process::exit(3),
+                Some(FaultKind::Hang) => loop {
+                    // Hang forever (until the coordinator's shard timeout
+                    // kills this process).
+                    std::thread::sleep(Duration::from_secs(3600));
+                },
+                _ => {}
+            }
+            let mut reply = serve_assignment(line.trim()).to_string();
+            if matches!(fault, Some(FaultKind::Garble) | Some(FaultKind::Torn)) {
+                // A torn pipe write and a garbled line look the same to the
+                // coordinator: a strict prefix that can never parse whole.
+                let mut cut = faults.as_ref().expect("fault implies plan").garble_point(reply.len());
+                while !reply.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                reply.truncate(cut);
+            }
             if writeln!(stdout, "{reply}").and_then(|()| stdout.flush()).is_err() {
                 return ExitCode::FAILURE;
             }
-        }
-    }
-
-    /// Dies mid-assignment (once, fleet-wide) when the crash latch is armed.
-    fn maybe_crash() {
-        let Ok(latch) = std::env::var(CRASH_ONCE_ENV) else { return };
-        if latch.is_empty() {
-            return;
-        }
-        // `create_new` is the atomic claim: exactly one worker across all
-        // concurrently-running processes wins the latch and crashes.
-        if std::fs::OpenOptions::new().write(true).create_new(true).open(&latch).is_ok() {
-            std::process::exit(3);
         }
     }
 
@@ -1077,11 +1103,15 @@ mod distribute {
     /// The `distribute` coordinator.
     pub fn run(args: &[String]) -> ExitCode {
         // Strip the coordinator-only flags before the batch parser sees the
-        // rest: --workers / --worker-cmd are pure scheduling hints and must
-        // never reach the RunConfig, or the merged artifact's config echo
-        // would diverge from the batch run's.
+        // rest: --workers / --worker-cmd / --journal / --shard-timeout /
+        // --retry-limit are pure scheduling knobs and must never reach the
+        // RunConfig, or the merged artifact's config echo would diverge from
+        // the batch run's.
         let mut workers = 2usize;
         let mut worker_cmd: Option<String> = None;
+        let mut journal: Option<PathBuf> = None;
+        let mut shard_timeout: Option<Duration> = None;
+        let mut retry_limit = 3usize;
         let mut rest: Vec<String> = Vec::new();
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
@@ -1101,6 +1131,32 @@ mod distribute {
                         return usage_error("--worker-cmd requires a value");
                     };
                     worker_cmd = Some(value.clone());
+                }
+                "--journal" => {
+                    let Some(value) = iter.next() else {
+                        return usage_error("--journal requires a value");
+                    };
+                    journal = Some(PathBuf::from(value));
+                }
+                "--shard-timeout" => {
+                    let Some(value) = iter.next() else {
+                        return usage_error("--shard-timeout requires a value");
+                    };
+                    shard_timeout = match parse_number(value, "--shard-timeout") {
+                        // 0 keeps the automatic warm-estimate deadline.
+                        Ok(0) => None,
+                        Ok(secs) => Some(Duration::from_secs(secs)),
+                        Err(message) => return usage_error(&message),
+                    };
+                }
+                "--retry-limit" => {
+                    let Some(value) = iter.next() else {
+                        return usage_error("--retry-limit requires a value");
+                    };
+                    retry_limit = match parse_number(value, "--retry-limit") {
+                        Ok(value) => value as usize,
+                        Err(message) => return usage_error(&message),
+                    };
                 }
                 other => rest.push(other.to_string()),
             }
@@ -1134,13 +1190,93 @@ mod distribute {
             );
         }
         let config = options.config;
-        let plans = ShardPlan::split(&config, workers);
-        let merged = match execute(&config, &plans, workers, worker_cmd.as_deref()) {
-            Ok(merged) => merged,
-            Err(message) => {
-                eprintln!("error: {message}");
+
+        // The coordinator's own fault plan handles torn-journal injection;
+        // `claim` sequencing across the worker processes needs a shared
+        // claim directory, auto-provisioned when the plan is armed but no
+        // MP_FAULT_DIR was exported.
+        let faults = match FaultPlan::from_env() {
+            Ok(faults) => faults,
+            Err(message) => return usage_error(&format!("{FAULT_PLAN_ENV}: {message}")),
+        };
+        let faults = match faults {
+            Some(plan) if plan.dir().is_none() => {
+                let dir = std::env::temp_dir()
+                    .join(format!("mp-fault-claims-{}", std::process::id()));
+                match plan.with_dir(dir) {
+                    Ok(plan) => Some(plan),
+                    Err(message) => {
+                        eprintln!("error: {message}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => other,
+        };
+
+        // With a journal, completed shard ranges survive a coordinator
+        // death: scan it, keep what validates, and re-plan only the gaps.
+        let mut done: Vec<ShardOutcome> = Vec::new();
+        let plans = match journal.as_deref() {
+            None => ShardPlan::split(&config, workers),
+            Some(dir) => match scan_journal(dir, &config) {
+                Err(error) => {
+                    eprintln!("error: {error}");
+                    return ExitCode::FAILURE;
+                }
+                Ok(scan) => {
+                    for (path, why) in &scan.discarded {
+                        eprintln!(
+                            "warning: discarded damaged journal entry {} ({why}); \
+                             its range will re-run",
+                            path.display()
+                        );
+                    }
+                    if !scan.outcomes.is_empty() {
+                        eprintln!(
+                            "resuming from journal {}: {} completed shard(s)",
+                            dir.display(),
+                            scan.outcomes.len()
+                        );
+                    }
+                    done = scan.outcomes;
+                    uncovered_plans(&config, &done, workers)
+                }
+            },
+        };
+
+        let supervision = Supervision { timeout: shard_timeout, warm: Mutex::new(None) };
+        let coordinator = Coordinator {
+            config: &config,
+            worker_cmd: worker_cmd.as_deref(),
+            journal: journal.as_deref(),
+            retry_limit,
+            supervision,
+            faults,
+        };
+        let fresh = match coordinator.execute(&plans, workers) {
+            Ok(fresh) => fresh,
+            Err(error) => {
+                eprintln!("error: {error}");
                 return ExitCode::FAILURE;
             }
+        };
+        let mut merged: Option<ShardOutcome> = None;
+        for outcome in done.into_iter().chain(fresh) {
+            merged = Some(match merged {
+                None => outcome,
+                Some(accumulated) => match accumulated.merge(outcome) {
+                    Ok(merged) => merged,
+                    Err(error) => {
+                        eprintln!("error: cannot merge shard outcomes: {error}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            });
+        }
+        let Some(merged) = merged else {
+            eprintln!("error: no shards were planned");
+            return ExitCode::FAILURE;
         };
         match merged.into_fleet_result(&config) {
             Ok(result) => {
@@ -1163,140 +1299,281 @@ mod distribute {
         }
     }
 
-    /// Farms the shard plans out to worker processes and merges the partial
-    /// outcomes. Each assignment gets a fresh worker process (no
-    /// half-poisoned state to reason about on retry); an assignment whose
-    /// worker dies, or that replies with an error, goes back on the queue
-    /// until the retry budget — every range failing once, plus a few
-    /// stragglers — runs out.
-    fn execute(
+    /// Re-plans the AP ranges not yet covered by journaled outcomes: each
+    /// contiguous uncovered run is split across the workers exactly as a
+    /// fresh campaign's whole range would be, so an empty journal reproduces
+    /// `ShardPlan::split` and the merged report never depends on where the
+    /// previous coordinator died.
+    fn uncovered_plans(
         config: &RunConfig,
-        plans: &[ShardPlan],
+        done: &[ShardOutcome],
         workers: usize,
-        worker_cmd: Option<&str>,
-    ) -> Result<ShardOutcome, String> {
-        let queue: Mutex<VecDeque<usize>> = Mutex::new((0..plans.len()).collect());
-        let results: Vec<Mutex<Option<ShardOutcome>>> =
-            plans.iter().map(|_| Mutex::new(None)).collect();
-        let retries = Mutex::new(plans.len() + 4);
-        let failure: Mutex<Option<String>> = Mutex::new(None);
-        std::thread::scope(|scope| {
-            for _ in 0..workers.clamp(1, plans.len()) {
-                scope.spawn(|| loop {
-                    let index = {
-                        let mut queue = queue.lock().unwrap();
-                        match queue.pop_front() {
-                            Some(index) => index,
-                            None => break,
-                        }
-                    };
-                    let range_of = |plan: ShardPlan| {
-                        format!("[{}, {})", plan.first_ap, plan.first_ap + plan.aps)
-                    };
-                    match run_worker(config, plans[index], worker_cmd) {
-                        Ok(outcome) => {
-                            *results[index].lock().unwrap() = Some(outcome);
-                        }
-                        Err(message) => {
-                            let mut retries = retries.lock().unwrap();
-                            if *retries == 0 {
-                                *failure.lock().unwrap() = Some(format!(
-                                    "shard {} failed and the retry budget is \
-                                     spent: {message}",
-                                    range_of(plans[index])
-                                ));
-                                break;
+    ) -> Vec<ShardPlan> {
+        let total = config.fleet_aps.max(1);
+        let mut covered = vec![false; total];
+        for outcome in done {
+            for (first_ap, aps) in outcome.covered_aps() {
+                for flag in covered.iter_mut().skip(first_ap).take(aps) {
+                    *flag = true;
+                }
+            }
+        }
+        let mut plans = Vec::new();
+        let mut ap = 0;
+        while ap < total {
+            if covered[ap] {
+                ap += 1;
+                continue;
+            }
+            let start = ap;
+            while ap < total && !covered[ap] {
+                ap += 1;
+            }
+            plans.extend(ShardPlan::split_range(start, ap - start, workers));
+        }
+        plans
+    }
+
+    /// The per-assignment deadline policy. An explicit `--shard-timeout`
+    /// wins; otherwise the deadline derives from a warm estimate — five
+    /// times the first completed shard's duration, floored at ten seconds —
+    /// and until any shard completes, automatic mode imposes none (a cold
+    /// first shard is not evidence of a hang).
+    struct Supervision {
+        timeout: Option<Duration>,
+        warm: Mutex<Option<Duration>>,
+    }
+
+    impl Supervision {
+        fn deadline(&self) -> Option<Duration> {
+            if let Some(timeout) = self.timeout {
+                return Some(timeout);
+            }
+            self.warm
+                .lock()
+                .unwrap()
+                .map(|warm| (warm * 5).max(Duration::from_secs(10)))
+        }
+
+        fn record_success(&self, elapsed: Duration) {
+            let mut warm = self.warm.lock().unwrap();
+            if warm.is_none() {
+                *warm = Some(elapsed);
+            }
+        }
+    }
+
+    struct Coordinator<'a> {
+        config: &'a RunConfig,
+        worker_cmd: Option<&'a str>,
+        journal: Option<&'a Path>,
+        retry_limit: usize,
+        supervision: Supervision,
+        faults: Option<FaultPlan>,
+    }
+
+    impl Coordinator<'_> {
+        /// Farms the shard plans out to worker processes. Each assignment
+        /// gets a fresh worker process (no half-poisoned state to reason
+        /// about on retry); an assignment whose worker dies, hangs past the
+        /// supervision deadline, or replies garbage goes back on the queue
+        /// after a bounded exponential backoff, with retries accounted per
+        /// shard — one poisoned range exhausts its own `--retry-limit` and
+        /// fails fast with an error naming the range, instead of burning a
+        /// budget shared with healthy shards.
+        fn execute(
+            &self,
+            plans: &[ShardPlan],
+            workers: usize,
+        ) -> Result<Vec<ShardOutcome>, ExperimentError> {
+            if plans.is_empty() {
+                return Ok(Vec::new());
+            }
+            let queue: Mutex<VecDeque<(usize, usize)>> =
+                Mutex::new((0..plans.len()).map(|index| (index, 0usize)).collect());
+            let results: Vec<Mutex<Option<ShardOutcome>>> =
+                plans.iter().map(|_| Mutex::new(None)).collect();
+            let failure: Mutex<Option<ExperimentError>> = Mutex::new(None);
+            std::thread::scope(|scope| {
+                for _ in 0..workers.clamp(1, plans.len()) {
+                    scope.spawn(|| loop {
+                        let (index, attempt) = {
+                            let mut queue = queue.lock().unwrap();
+                            match queue.pop_front() {
+                                Some(work) => work,
+                                None => break,
                             }
-                            *retries -= 1;
-                            drop(retries);
-                            eprintln!(
-                                "warning: shard {} failed ({message}); retrying",
-                                range_of(plans[index])
-                            );
-                            queue.lock().unwrap().push_back(index);
+                        };
+                        let plan = plans[index];
+                        let range =
+                            format!("[{}, {})", plan.first_ap, plan.first_ap + plan.aps);
+                        let started = Instant::now();
+                        match self.run_worker(plan) {
+                            Ok(outcome) => {
+                                self.supervision.record_success(started.elapsed());
+                                if let Err(error) = self.journal_outcome(&outcome) {
+                                    *failure.lock().unwrap() = Some(error);
+                                    queue.lock().unwrap().clear();
+                                    break;
+                                }
+                                *results[index].lock().unwrap() = Some(outcome);
+                            }
+                            Err(message) => {
+                                if attempt >= self.retry_limit {
+                                    *failure.lock().unwrap() =
+                                        Some(ExperimentError::Shard(format!(
+                                            "range {range} failed {} time(s), exhausting \
+                                             --retry-limit {}: {message}",
+                                            attempt + 1,
+                                            self.retry_limit
+                                        )));
+                                    queue.lock().unwrap().clear();
+                                    break;
+                                }
+                                let backoff = Duration::from_millis(
+                                    (50u64 << attempt.min(5)).min(2_000),
+                                );
+                                eprintln!(
+                                    "warning: shard {range} attempt {}/{} failed \
+                                     ({message}); retrying in {}ms",
+                                    attempt + 1,
+                                    self.retry_limit + 1,
+                                    backoff.as_millis()
+                                );
+                                std::thread::sleep(backoff);
+                                queue.lock().unwrap().push_back((index, attempt + 1));
+                            }
+                        }
+                    });
+                }
+            });
+            if let Some(error) = failure.into_inner().unwrap() {
+                return Err(error);
+            }
+            let mut outcomes = Vec::with_capacity(plans.len());
+            for slot in results {
+                outcomes.push(slot.into_inner().unwrap().ok_or_else(|| {
+                    ExperimentError::Shard("a shard finished without a result".to_string())
+                })?);
+            }
+            Ok(outcomes)
+        }
+
+        /// Writes one completed shard into the journal (when one is
+        /// configured). A planned torn-write fault leaves a strict prefix of
+        /// the entry at its final path and kills the coordinator — exactly
+        /// the damage a power cut mid-write would leave for the resume path
+        /// to discard.
+        fn journal_outcome(&self, outcome: &ShardOutcome) -> Result<(), ExperimentError> {
+            let Some(dir) = self.journal else { return Ok(()) };
+            let torn = matches!(
+                self.faults.as_ref().and_then(FaultPlan::claim_journal),
+                Some(FaultKind::Torn)
+            );
+            let path = write_journal_entry(dir, self.config, outcome)?;
+            if torn {
+                let document = std::fs::read_to_string(&path).unwrap_or_default();
+                let mut cut = document.len() / 2;
+                while !document.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                let _ = std::fs::write(&path, &document[..cut]);
+                eprintln!("fault: torn journal write at {}; dying", path.display());
+                std::process::exit(17);
+            }
+            Ok(())
+        }
+
+        /// Runs one assignment on a fresh worker process: write the request
+        /// line, close stdin (the worker replies, sees EOF and exits), and
+        /// read the single reply line under the supervision deadline — a
+        /// worker silent past it is killed and its range reported hung.
+        fn run_worker(&self, plan: ShardPlan) -> Result<ShardOutcome, String> {
+            let mut child = self.spawn_worker()?;
+            let request = Json::obj([
+                ("op", "shard_run".to_json()),
+                ("config", self.config.to_json()),
+                ("first_ap", (plan.first_ap as u64).to_json()),
+                ("aps", (plan.aps as u64).to_json()),
+            ]);
+            {
+                let mut stdin = child
+                    .stdin
+                    .take()
+                    .ok_or_else(|| "worker stdin unavailable".to_string())?;
+                writeln!(stdin, "{request}")
+                    .map_err(|error| format!("cannot write to the worker: {error}"))?;
+            }
+            let stdout = child
+                .stdout
+                .take()
+                .ok_or_else(|| "worker stdout unavailable".to_string())?;
+            let (sender, receiver) = mpsc::channel();
+            std::thread::spawn(move || {
+                let mut reply = String::new();
+                let read = BufReader::new(stdout).read_line(&mut reply);
+                let _ = sender.send(read.map(|bytes| (bytes, reply)));
+            });
+            let started = Instant::now();
+            let read = loop {
+                match receiver.recv_timeout(Duration::from_millis(100)) {
+                    Ok(read) => break read,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        // Re-read the deadline every poll: the automatic
+                        // warm estimate may arrive while this worker runs.
+                        if let Some(deadline) = self.supervision.deadline() {
+                            if started.elapsed() >= deadline {
+                                let _ = child.kill();
+                                let _ = child.wait();
+                                return Err(format!(
+                                    "worker hung past the {deadline:?} shard \
+                                     timeout; killed"
+                                ));
+                            }
                         }
                     }
-                });
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        break Err(std::io::Error::other("the reply reader died"));
+                    }
+                }
+            };
+            let status = child
+                .wait()
+                .map_err(|error| format!("cannot await the worker: {error}"))?;
+            match read {
+                Ok((0, _)) => Err(format!("worker exited without replying ({status})")),
+                Ok((_, reply)) => decode_reply(reply.trim(), self.config, plan),
+                Err(error) => Err(format!("cannot read the worker's reply: {error}")),
             }
-        });
-        if let Some(message) = failure.into_inner().unwrap() {
-            return Err(message);
         }
-        let mut merged: Option<ShardOutcome> = None;
-        for slot in results {
-            let outcome = slot
-                .into_inner()
-                .unwrap()
-                .ok_or_else(|| "a shard finished without a result".to_string())?;
-            merged = Some(match merged {
-                None => outcome,
-                Some(accumulated) => accumulated
-                    .merge(outcome)
-                    .map_err(|error| format!("cannot merge shard outcomes: {error}"))?,
-            });
-        }
-        merged.ok_or_else(|| "no shards were planned".to_string())
-    }
 
-    /// Runs one assignment on a fresh worker process: write the request
-    /// line, close stdin (the worker replies, sees EOF and exits), read the
-    /// single reply line, decode the partial-checkpoint document.
-    fn run_worker(
-        config: &RunConfig,
-        plan: ShardPlan,
-        worker_cmd: Option<&str>,
-    ) -> Result<ShardOutcome, String> {
-        let mut child = spawn_worker(worker_cmd)?;
-        let request = Json::obj([
-            ("op", "shard_run".to_json()),
-            ("config", config.to_json()),
-            ("first_ap", (plan.first_ap as u64).to_json()),
-            ("aps", (plan.aps as u64).to_json()),
-        ]);
-        {
-            let mut stdin = child
-                .stdin
-                .take()
-                .ok_or_else(|| "worker stdin unavailable".to_string())?;
-            writeln!(stdin, "{request}")
-                .map_err(|error| format!("cannot write to the worker: {error}"))?;
-        }
-        let stdout = child
-            .stdout
-            .take()
-            .ok_or_else(|| "worker stdout unavailable".to_string())?;
-        let mut reply = String::new();
-        let read = BufReader::new(stdout).read_line(&mut reply);
-        let status = child
-            .wait()
-            .map_err(|error| format!("cannot await the worker: {error}"))?;
-        match read {
-            Ok(0) => Err(format!("worker exited without replying ({status})")),
-            Ok(_) => decode_reply(reply.trim(), config, plan),
-            Err(error) => Err(format!("cannot read the worker's reply: {error}")),
-        }
-    }
-
-    fn spawn_worker(worker_cmd: Option<&str>) -> Result<Child, String> {
-        let mut command = match worker_cmd {
-            Some(cmd) => {
-                let mut command = Command::new("sh");
-                command.arg("-c").arg(cmd);
-                command
+        fn spawn_worker(&self) -> Result<Child, String> {
+            let mut command = match self.worker_cmd {
+                Some(cmd) => {
+                    let mut command = Command::new("sh");
+                    command.arg("-c").arg(cmd);
+                    command
+                }
+                None => {
+                    let exe = std::env::current_exe()
+                        .map_err(|error| format!("cannot locate this binary: {error}"))?;
+                    let mut command = Command::new(exe);
+                    command.arg("shard-worker");
+                    command
+                }
+            };
+            if let Some(dir) = self.faults.as_ref().and_then(FaultPlan::dir) {
+                // Workers must share the coordinator's claim directory, or a
+                // plan like crash@2 would fire once per worker process
+                // instead of once across the fleet.
+                command.env(parasite::experiments::FAULT_DIR_ENV, dir);
             }
-            None => {
-                let exe = std::env::current_exe()
-                    .map_err(|error| format!("cannot locate this binary: {error}"))?;
-                let mut command = Command::new(exe);
-                command.arg("shard-worker");
-                command
-            }
-        };
-        command
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .spawn()
-            .map_err(|error| format!("cannot spawn a shard worker: {error}"))
+            command
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()
+                .map_err(|error| format!("cannot spawn a shard worker: {error}"))
+        }
     }
 
     fn decode_reply(

@@ -99,6 +99,36 @@ fn visit_probability_needs_a_multiday_campaign() {
 }
 
 #[test]
+fn distribute_flags_outside_the_subcommand_are_rejected() {
+    // The coordinator's scheduling knobs mean nothing in batch mode; point
+    // at the distribute subcommand instead of ignoring them.
+    assert_rejected(&["--journal", "/tmp/j"], "distribute");
+    assert_rejected(&["--shard-timeout", "30"], "distribute");
+    assert_rejected(&["--retry-limit", "2"], "distribute");
+}
+
+#[test]
+fn malformed_distribute_values_are_rejected() {
+    let campaign = [
+        "distribute",
+        "--only",
+        "campaign_fleet",
+        "--fleet-clients",
+        "2000",
+        "--fleet-aps",
+        "4",
+        "--fleet-days",
+        "3",
+        "--fleet-churn",
+        "0.2",
+    ];
+    assert_rejected(&[&campaign[..], &["--retry-limit", "many"]].concat(), "--retry-limit");
+    assert_rejected(&[&campaign[..], &["--retry-limit"]].concat(), "requires a value");
+    assert_rejected(&[&campaign[..], &["--shard-timeout", "soon"]].concat(), "--shard-timeout");
+    assert_rejected(&[&campaign[..], &["--journal"]].concat(), "requires a value");
+}
+
+#[test]
 fn service_flags_outside_a_subcommand_are_rejected() {
     // Service flags mean nothing in batch mode; point at the subcommands
     // instead of ignoring them.

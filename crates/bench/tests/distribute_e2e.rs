@@ -79,17 +79,18 @@ fn distribute_matches_the_batch_report_byte_for_byte() {
 #[test]
 fn a_killed_worker_is_retried_and_the_report_still_matches() {
     let dir = temp_dir("crash");
-    let latch = dir.join("crash.latch");
+    let claims = dir.join("claims");
     let batch = stdout_of(&paper_report(&[CAMPAIGN.as_slice(), &["--json"]].concat()));
 
     let output = Command::new(env!("CARGO_BIN_EXE_paper-report"))
         .args([&["distribute", "--workers", "3"], CAMPAIGN.as_slice(), &["--json"]].concat())
-        .env("MP_SHARD_WORKER_CRASH_ONCE", &latch)
+        .env("MP_FAULT_PLAN", "crash@1")
+        .env("MP_FAULT_DIR", &claims)
         .output()
         .expect("paper-report spawns");
     assert!(
-        latch.exists(),
-        "the crash latch must have been claimed — no worker actually died"
+        claims.join("assign-000001").exists(),
+        "the crash fault must have been claimed — no worker actually died"
     );
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(
@@ -101,6 +102,175 @@ fn a_killed_worker_is_retried_and_the_report_still_matches() {
         batch,
         "a killed worker's range must be retried and the merged report must \
          still match the batch run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_chaos_plan_with_crash_hang_and_garble_still_matches_the_batch_report() {
+    let dir = temp_dir("chaos");
+    let claims = dir.join("claims");
+    let batch = stdout_of(&paper_report(&[CAMPAIGN.as_slice(), &["--json"]].concat()));
+
+    // One worker crashes before replying, one garbles its reply line, one
+    // hangs until the shard timeout kills it; every range retries and the
+    // merged report is still byte-identical.
+    let output = Command::new(env!("CARGO_BIN_EXE_paper-report"))
+        .args(
+            [
+                &["distribute", "--workers", "3", "--shard-timeout", "2"],
+                CAMPAIGN.as_slice(),
+                &["--json"],
+            ]
+            .concat(),
+        )
+        .env("MP_FAULT_PLAN", "crash@1,garble@2,hang@3")
+        .env("MP_FAULT_DIR", &claims)
+        .output()
+        .expect("paper-report spawns");
+    let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+    assert_eq!(stdout_of(&output), batch, "chaos must not change the report; stderr: {stderr}");
+    assert!(
+        stderr.contains("exited without replying"),
+        "the crash must be reported: {stderr}"
+    );
+    assert!(stderr.contains("not valid JSON"), "the garble must be reported: {stderr}");
+    assert!(stderr.contains("shard timeout"), "the hang must be reported: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fault_plans_are_deterministic_across_runs() {
+    let dir = temp_dir("determinism");
+    let run = |tag: &str| {
+        let claims = dir.join(tag);
+        let output = Command::new(env!("CARGO_BIN_EXE_paper-report"))
+            .args(
+                [&["distribute", "--workers", "1"], CAMPAIGN.as_slice(), &["--json"]].concat(),
+            )
+            .env("MP_FAULT_PLAN", "crash@1,garble@2,seed=42")
+            .env("MP_FAULT_DIR", &claims)
+            .output()
+            .expect("paper-report spawns");
+        (stdout_of(&output), String::from_utf8_lossy(&output.stderr).to_string())
+    };
+    // The same plan + seed over a single worker yields the identical
+    // retry/requeue sequence (stderr warnings) and the identical report.
+    let (first_out, first_err) = run("first");
+    let (second_out, second_err) = run("second");
+    assert_eq!(first_out, second_out);
+    let warnings = |stderr: &str| {
+        stderr
+            .lines()
+            .filter(|line| line.starts_with("warning:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        warnings(&first_err),
+        warnings(&second_err),
+        "the retry sequence must replay identically"
+    );
+    assert!(warnings(&first_err).contains("attempt 1/"), "faults must have fired");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_torn_journal_write_is_discarded_on_resume_and_the_report_matches() {
+    let dir = temp_dir("journal");
+    let journal = dir.join("journal");
+    let claims = dir.join("claims");
+    let batch = stdout_of(&paper_report(&[CAMPAIGN.as_slice(), &["--json"]].concat()));
+
+    // First attempt: the coordinator tears its first journal entry and dies.
+    let output = Command::new(env!("CARGO_BIN_EXE_paper-report"))
+        .args(
+            [
+                &["distribute", "--workers", "2", "--journal", journal.to_str().unwrap()],
+                CAMPAIGN.as_slice(),
+                &["--json"],
+            ]
+            .concat(),
+        )
+        .env("MP_FAULT_PLAN", "torn@1")
+        .env("MP_FAULT_DIR", &claims)
+        .output()
+        .expect("paper-report spawns");
+    assert_eq!(
+        output.status.code(),
+        Some(17),
+        "the torn-write fault kills the coordinator; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // Resume without faults: the torn entry is discarded, its range re-runs,
+    // and the merged report is byte-identical to the batch run.
+    let output = Command::new(env!("CARGO_BIN_EXE_paper-report"))
+        .args(
+            [
+                &["distribute", "--workers", "2", "--journal", journal.to_str().unwrap()],
+                CAMPAIGN.as_slice(),
+                &["--json"],
+            ]
+            .concat(),
+        )
+        .output()
+        .expect("paper-report spawns");
+    let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+    assert!(
+        stderr.contains("discarded damaged journal entry"),
+        "the torn entry must be reported: {stderr}"
+    );
+    assert_eq!(stdout_of(&output), batch, "journal resume must be byte-identical");
+
+    // A third run resumes from a complete journal: nothing re-runs, and the
+    // report is still byte-identical.
+    let output = Command::new(env!("CARGO_BIN_EXE_paper-report"))
+        .args(
+            [
+                &["distribute", "--workers", "2", "--journal", journal.to_str().unwrap()],
+                CAMPAIGN.as_slice(),
+                &["--json"],
+            ]
+            .concat(),
+        )
+        .output()
+        .expect("paper-report spawns");
+    let stderr = String::from_utf8_lossy(&output.stderr).to_string();
+    assert!(
+        stderr.contains("resuming from journal"),
+        "the resume must be reported: {stderr}"
+    );
+    assert_eq!(stdout_of(&output), batch, "a fully-journaled campaign replays byte-identically");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn an_exhausted_retry_limit_names_the_poisoned_range() {
+    let dir = temp_dir("retry-limit");
+    let claims = dir.join("claims");
+    // Every assignment crashes; with --retry-limit 1 the first range fails
+    // after two attempts and the run aborts with an error naming it.
+    let output = Command::new(env!("CARGO_BIN_EXE_paper-report"))
+        .args(
+            [
+                &["distribute", "--workers", "1", "--retry-limit", "1"],
+                CAMPAIGN.as_slice(),
+                &["--json"],
+            ]
+            .concat(),
+        )
+        .env("MP_FAULT_PLAN", "crash@1,crash@2,crash@3,crash@4")
+        .env("MP_FAULT_DIR", &claims)
+        .output()
+        .expect("paper-report spawns");
+    assert_eq!(output.status.code(), Some(1), "an exhausted range fails the run");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("distributed shard failed")
+            && stderr.contains("exhausting --retry-limit 1")
+            && stderr.contains("range ["),
+        "the error must be typed and name the range: {stderr}"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

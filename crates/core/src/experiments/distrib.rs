@@ -42,7 +42,7 @@ use mp_netsim::sim::SharedBudget;
 use mp_webgen::{ChurningObject, StabilityClass};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Seed-stream tag for the per-(day, AP) seat streams: on day `d`, AP `a`
 /// draws its slice's churn/cache-clear/visit decisions from
@@ -61,6 +61,15 @@ const CHECKPOINT_VERSION: u64 = 2;
 
 /// The `"kind"` discriminator of every campaign checkpoint document.
 const CHECKPOINT_KIND: &str = "mp-campaign-checkpoint";
+
+/// Error suffix of every structurally damaged checkpoint document (callers
+/// prefix the document's origin).
+const CORRUPT: &str = "is not a valid campaign checkpoint";
+
+/// Error suffix of a checkpoint whose configuration fingerprint does not
+/// match the current campaign.
+const MISMATCH: &str = "was written under a different campaign configuration; \
+     delete it or rerun with the original flags";
 
 // ---------------------------------------------------------------------------
 // Shard plans
@@ -88,14 +97,21 @@ impl ShardPlan {
     /// earlier ranges taking the remainder — the coordinator's default
     /// assignment. Never returns an empty range.
     pub fn split(config: &RunConfig, workers: usize) -> Vec<ShardPlan> {
-        let total = config.fleet_aps.max(1);
+        ShardPlan::split_range(0, config.fleet_aps.max(1), workers)
+    }
+
+    /// Splits one contiguous AP range into (at most) `workers` plans — the
+    /// journal-resume complement of [`split`](Self::split): each gap
+    /// between journaled ranges becomes its own set of fresh plans.
+    pub fn split_range(first_ap: usize, aps: usize, workers: usize) -> Vec<ShardPlan> {
+        let total = aps.max(1);
         let parts = workers.max(1).min(total);
         let mut plans = Vec::with_capacity(parts);
-        let mut first_ap = 0usize;
+        let mut start = first_ap;
         for index in 0..parts {
             let aps = share(total, parts, index);
-            plans.push(ShardPlan { first_ap, aps });
-            first_ap += aps;
+            plans.push(ShardPlan { first_ap: start, aps });
+            start += aps;
         }
         plans
     }
@@ -265,6 +281,34 @@ impl ShardOutcome {
     /// The (partial) per-day statistics of this outcome.
     pub fn days(&self) -> &[DayStats] {
         &self.days
+    }
+
+    /// The `(first_ap, aps)` range of every part, sorted — what a
+    /// journal-resuming coordinator subtracts from the fleet to find the
+    /// ranges still to run.
+    pub fn covered_aps(&self) -> Vec<(usize, usize)> {
+        self.parts.iter().map(|part| (part.first_ap, part.aps)).collect()
+    }
+
+    /// The single contiguous `(first_ap, aps)` range this outcome covers,
+    /// or an error if its parts leave gaps (a journal entry names its file
+    /// after this range, so it must be one range).
+    pub fn covered_range(&self) -> Result<(usize, usize), String> {
+        let first = self
+            .parts
+            .first()
+            .ok_or_else(|| "shard outcome covers no APs".to_string())?;
+        let mut end = first.ap_range().end;
+        for part in &self.parts[1..] {
+            if part.first_ap != end {
+                return Err(format!(
+                    "shard outcome is not contiguous: gap before AP {}",
+                    part.first_ap
+                ));
+            }
+            end = part.ap_range().end;
+        }
+        Ok((first.first_ap, end - first.first_ap))
     }
 
     /// Merges two outcomes of *disjoint* shards of the same campaign.
@@ -795,17 +839,25 @@ impl ShardOutcome {
     /// static seat layout. The error strings are stable (callers prefix
     /// them with the document's origin).
     pub fn from_checkpoint_json(json: &Json, config: &RunConfig) -> Result<ShardOutcome, String> {
-        const CORRUPT: &str = "is not a valid campaign checkpoint";
         let corrupt = || CORRUPT.to_string();
-        if json.get("kind").and_then(Json::as_str) != Some(CHECKPOINT_KIND)
-            || json.get("version").and_then(Json::as_u64) != Some(CHECKPOINT_VERSION)
-        {
+        if json.get("kind").and_then(Json::as_str) != Some(CHECKPOINT_KIND) {
             return Err(corrupt());
         }
+        match json.get("version").and_then(Json::as_u64) {
+            Some(CHECKPOINT_VERSION) => {}
+            // A recognised checkpoint of a codec this build does not speak
+            // is its own failure: "corrupt" would invite deleting a
+            // perfectly good file written by a newer build.
+            Some(other) => {
+                return Err(format!(
+                    "uses unsupported checkpoint codec version {other} \
+                     (this build reads version {CHECKPOINT_VERSION})"
+                ));
+            }
+            None => return Err(corrupt()),
+        }
         if json.get("config") != Some(&config_fingerprint(config)) {
-            return Err("was written under a different campaign configuration; \
-                 delete it or rerun with the original flags"
-                .to_string());
+            return Err(MISMATCH.to_string());
         }
         let layout = seat_layout(config).map_err(|_| corrupt())?;
         let total_aps = config.fleet_aps.max(1);
@@ -932,7 +984,7 @@ pub(super) fn load_checkpoint(
         ExperimentError::Checkpoint(format!("reading {} failed: {error}", path.display()))
     })?;
     let json = Json::parse(&text)
-        .map_err(|_| "is not a valid campaign checkpoint".to_string())
+        .map_err(|_| CORRUPT.to_string())
         .and_then(|json| ShardOutcome::from_checkpoint_json(&json, config));
     let outcome = match json {
         Ok(outcome) => outcome,
@@ -944,6 +996,175 @@ pub(super) fn load_checkpoint(
     outcome
         .coalesce(config, &layout)
         .map_err(|message| ExperimentError::Checkpoint(format!("{} {message}", path.display())))
+}
+
+// ---------------------------------------------------------------------------
+// The coordinator journal
+// ---------------------------------------------------------------------------
+//
+// A journal directory is the coordinator's durable state: one finished
+// `ShardOutcome` per file, in the ordinary checkpoint codec, written
+// atomically through `write_checkpoint` as each worker's range completes.
+// A coordinator that dies (kill -9, power cut, torn write) restarts with
+// `--journal <dir>`, scans the directory, keeps every entry that validates
+// against the campaign fingerprint, re-runs only the AP ranges with no
+// valid entry, and merges — `merge`'s associativity makes the result
+// byte-identical to an uninterrupted run by construction.
+
+/// The result of scanning a journal directory.
+#[derive(Debug)]
+pub struct JournalScan {
+    /// Validated, completed shard outcomes, sorted by first AP and
+    /// pairwise disjoint.
+    pub outcomes: Vec<ShardOutcome>,
+    /// Entries discarded as damaged (torn writes, truncated JSON, bad seat
+    /// bitmaps, incomplete horizons): the path and the reason. The files
+    /// have been deleted — their ranges are simply re-run.
+    pub discarded: Vec<(PathBuf, String)>,
+}
+
+/// Why one journal entry could not be used.
+enum JournalEntryError {
+    /// The file is damaged; discarding it is safe (the range re-runs).
+    Corrupt(String),
+    /// The file is intact but belongs to a different campaign (fingerprint
+    /// mismatch) or codec version: the scan aborts instead of silently
+    /// destroying another run's durable progress.
+    Foreign(String),
+}
+
+/// Whether a decode failure means "intact but not ours" (abort the scan)
+/// rather than "damaged" (discard and re-run).
+fn is_foreign_entry(message: &str) -> bool {
+    message == MISMATCH || message.contains("unsupported checkpoint codec version")
+}
+
+/// The canonical journal file name of a shard range: derived from the range
+/// alone, so a retried shard overwrites (atomically) rather than duplicates
+/// its entry, and a resumed coordinator with a different worker count still
+/// recognises completed ranges.
+fn journal_file_name(first_ap: usize, aps: usize) -> String {
+    format!("shard-{first_ap:06}-{aps:06}.json")
+}
+
+/// Writes one completed shard outcome into the journal directory
+/// (atomically, via the checkpoint writer's temp+rename), returning the
+/// entry's path.
+pub fn write_journal_entry(
+    dir: &Path,
+    config: &RunConfig,
+    outcome: &ShardOutcome,
+) -> Result<PathBuf, ExperimentError> {
+    let (first_ap, aps) = outcome.covered_range().map_err(ExperimentError::Checkpoint)?;
+    std::fs::create_dir_all(dir).map_err(|error| {
+        ExperimentError::Checkpoint(format!(
+            "cannot create the journal directory {}: {error}",
+            dir.display()
+        ))
+    })?;
+    let path = dir.join(journal_file_name(first_ap, aps));
+    write_checkpoint(&path, config, outcome)?;
+    Ok(path)
+}
+
+/// Loads and validates one journal entry: the ordinary checkpoint decode
+/// plus the journal's own contract — the entry must cover one contiguous
+/// range and must have reached the campaign's full horizon (the journal
+/// records *finished* shards only).
+fn load_journal_entry(
+    path: &Path,
+    config: &RunConfig,
+) -> Result<ShardOutcome, JournalEntryError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|error| JournalEntryError::Corrupt(format!("cannot be read: {error}")))?;
+    let json =
+        Json::parse(&text).map_err(|_| JournalEntryError::Corrupt(CORRUPT.to_string()))?;
+    let outcome = ShardOutcome::from_checkpoint_json(&json, config).map_err(|message| {
+        if is_foreign_entry(&message) {
+            JournalEntryError::Foreign(message)
+        } else {
+            JournalEntryError::Corrupt(message)
+        }
+    })?;
+    let horizon = config.fleet_days.max(1);
+    if outcome.completed_days != horizon {
+        return Err(JournalEntryError::Corrupt(format!(
+            "covers only {} of {horizon} campaign days",
+            outcome.completed_days
+        )));
+    }
+    outcome.covered_range().map_err(JournalEntryError::Corrupt)?;
+    Ok(outcome)
+}
+
+/// Scans a journal directory: validates every `*.json` entry against the
+/// campaign configuration, deletes (and reports) damaged entries, and
+/// returns the valid outcomes sorted and checked disjoint. A missing
+/// directory is an empty scan (first run); an entry from a *different*
+/// campaign or codec version aborts with a typed error instead of being
+/// deleted; overlapping entries (a journal shared by incompatible splits)
+/// abort likewise.
+pub fn scan_journal(dir: &Path, config: &RunConfig) -> Result<JournalScan, ExperimentError> {
+    let mut scan = JournalScan { outcomes: Vec::new(), discarded: Vec::new() };
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(error) if error.kind() == std::io::ErrorKind::NotFound => return Ok(scan),
+        Err(error) => {
+            return Err(ExperimentError::Checkpoint(format!(
+                "cannot scan the journal {}: {error}",
+                dir.display()
+            )));
+        }
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .flatten()
+        .map(|entry| entry.path())
+        .filter(|path| {
+            let name = path.file_name().and_then(|name| name.to_str()).unwrap_or("");
+            // Skip in-flight temp files: a concurrent (or killed) writer's
+            // `.tmp.` files are not entries.
+            name.ends_with(".json") && !name.contains(".tmp.")
+        })
+        .collect();
+    paths.sort();
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    for path in paths {
+        match load_journal_entry(&path, config) {
+            Ok(outcome) => {
+                // `load_journal_entry` validated contiguity above.
+                if let Ok(range) = outcome.covered_range() {
+                    ranges.push(range);
+                }
+                scan.outcomes.push(outcome);
+            }
+            Err(JournalEntryError::Corrupt(message)) => {
+                let _ = std::fs::remove_file(&path);
+                scan.discarded.push((path, message));
+            }
+            Err(JournalEntryError::Foreign(message)) => {
+                return Err(ExperimentError::Checkpoint(format!(
+                    "journal entry {} {message}",
+                    path.display()
+                )));
+            }
+        }
+    }
+    scan.outcomes.sort_by_key(|outcome| outcome.parts[0].first_ap);
+    ranges.sort_unstable();
+    for pair in ranges.windows(2) {
+        let ((a_first, a_aps), (b_first, b_aps)) = (pair[0], pair[1]);
+        if a_first + a_aps > b_first {
+            return Err(ExperimentError::Checkpoint(format!(
+                "journal {} holds overlapping shard ranges [{a_first}, {}) and \
+                 [{b_first}, {}); it mixes incompatible runs — delete the \
+                 directory and restart",
+                dir.display(),
+                a_first + a_aps,
+                b_first + b_aps
+            )));
+        }
+    }
+    Ok(scan)
 }
 
 #[cfg(test)]
@@ -1153,6 +1374,162 @@ mod tests {
             );
             // Resuming consumed the checkpoint's day-2 state; restore it.
             write_checkpoint(&path, &config, &merged).expect("checkpoint restored");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_documents_yield_typed_errors() {
+        let config = small_config();
+        let dir = std::env::temp_dir()
+            .join(format!("mp-distrib-test-{}-corrupt", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let outcome = ShardOutcome::fresh(&config, ShardPlan { first_ap: 0, aps: 4 })
+            .expect("fresh outcome");
+        let path = dir.join("seed.ckpt.json");
+        write_checkpoint(&path, &config, &outcome).expect("seed checkpoint");
+        let text = std::fs::read_to_string(&path).expect("seed text");
+
+        let expect_checkpoint_error = |name: &str, body: &str, probe: &RunConfig, want: &str| {
+            let mutated = dir.join(name);
+            std::fs::write(&mutated, body).expect("mutated checkpoint");
+            match load_checkpoint(&mutated, probe) {
+                Err(ExperimentError::Checkpoint(message)) => {
+                    assert!(message.contains(want), "{name}: got {message:?}, want {want:?}");
+                }
+                other => panic!("{name}: expected a checkpoint error, got {other:?}"),
+            }
+        };
+
+        // Truncated JSON: a torn write that lost its tail.
+        expect_checkpoint_error(
+            "truncated.json",
+            &text[..text.len() / 2],
+            &config,
+            "is not a valid campaign checkpoint",
+        );
+        // A seat bitmap with non-hex digits.
+        assert!(text.contains("0000000000000000"), "fresh bitmaps are zero words");
+        expect_checkpoint_error(
+            "bad-hex.json",
+            &text.replacen("0000000000000000", "zz00000000000000", 1),
+            &config,
+            "is not a valid campaign checkpoint",
+        );
+        // An intact checkpoint from a different campaign.
+        expect_checkpoint_error(
+            "mismatch.json",
+            &text,
+            &RunConfig { seed: config.seed + 1, ..config },
+            "different campaign configuration",
+        );
+        // A future codec version names both versions instead of guessing.
+        expect_checkpoint_error(
+            "future.json",
+            &text.replacen("\"version\":2", "\"version\":99", 1),
+            &config,
+            "unsupported checkpoint codec version 99",
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_scan_merges_discards_and_aborts() {
+        let config = small_config();
+        let dir = std::env::temp_dir()
+            .join(format!("mp-distrib-test-{}-journal", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // A missing directory is a first run: an empty scan, not an error.
+        let scan = scan_journal(&dir, &config).expect("missing dir scans");
+        assert!(scan.outcomes.is_empty() && scan.discarded.is_empty());
+
+        // Two completed shards journal and scan back to the byte-identical
+        // single-process artifact.
+        let reference = Registry::get(ExperimentId::CampaignFleet).run(&config);
+        let reference = reference.data.as_campaign_fleet().expect("campaign artifact");
+        for &plan in &ShardPlan::split(&config, 2) {
+            let outcome =
+                run_campaign_shard(&config, plan, &RunCtx::default()).expect("shard runs");
+            write_journal_entry(&dir, &config, &outcome).expect("journal entry");
+        }
+        let scan = scan_journal(&dir, &config).expect("clean journal scans");
+        assert_eq!(scan.outcomes.len(), 2);
+        assert!(scan.discarded.is_empty());
+        let merged =
+            fold_merge(&scan.outcomes).into_fleet_result(&config).expect("full coverage");
+        assert_eq!(
+            merged.to_json().to_string(),
+            reference.to_json().to_string(),
+            "journal resume must be byte-identical"
+        );
+
+        // Damaged entries are discarded (and deleted) with a reason; the
+        // surviving shards still scan.
+        let good = dir.join(journal_file_name(0, 2));
+        let good_text = std::fs::read_to_string(&good).expect("good entry text");
+        let torn = dir.join("shard-000009-000001.json");
+        std::fs::write(&torn, &good_text[..good_text.len() / 2]).expect("torn entry");
+        let unfinished = ShardOutcome::fresh(&config, ShardPlan { first_ap: 0, aps: 4 })
+            .expect("fresh outcome");
+        let unfinished_path =
+            write_journal_entry(&dir, &config, &unfinished).expect("unfinished entry");
+        let scan = scan_journal(&dir, &config).expect("scan survives damage");
+        assert_eq!(scan.outcomes.len(), 2, "the two finished shards survive");
+        assert_eq!(scan.discarded.len(), 2, "torn + unfinished are discarded");
+        assert!(!torn.exists() && !unfinished_path.exists(), "damaged entries are deleted");
+        assert!(
+            scan.discarded.iter().any(|(_, why)| why.contains("covers only 0 of 3")),
+            "got: {:?}",
+            scan.discarded
+        );
+
+        // An intact entry from a different campaign aborts the scan — it is
+        // someone else's durable progress, not ours to delete.
+        let foreign_config = RunConfig { seed: config.seed + 1, ..config };
+        let foreign = run_campaign_shard(
+            &foreign_config,
+            ShardPlan { first_ap: 3, aps: 1 },
+            &RunCtx::default(),
+        )
+        .expect("foreign shard runs");
+        let foreign_path =
+            write_journal_entry(&dir, &foreign_config, &foreign).expect("foreign entry");
+        match scan_journal(&dir, &config) {
+            Err(ExperimentError::Checkpoint(message)) => {
+                assert!(message.contains("different campaign configuration"), "got: {message}");
+            }
+            other => panic!("expected a foreign-entry abort, got {other:?}"),
+        }
+        assert!(foreign_path.exists(), "foreign entries are never deleted");
+        std::fs::remove_file(&foreign_path).expect("clear foreign entry");
+
+        // So does an entry written by a future codec version.
+        let future = dir.join("shard-000009-000001.json");
+        std::fs::write(&future, good_text.replacen("\"version\":2", "\"version\":99", 1))
+            .expect("future entry");
+        match scan_journal(&dir, &config) {
+            Err(ExperimentError::Checkpoint(message)) => {
+                assert!(message.contains("unsupported checkpoint codec version"), "got: {message}");
+            }
+            other => panic!("expected a version abort, got {other:?}"),
+        }
+        assert!(future.exists(), "future-version entries are never deleted");
+        std::fs::remove_file(&future).expect("clear future entry");
+
+        // Overlapping valid entries mean the journal mixes incompatible
+        // splits: abort rather than double-count seats.
+        let overlap = dir.join("shard-000001-000002.json");
+        std::fs::write(&overlap, &good_text).expect("overlap entry");
+        match scan_journal(&dir, &config) {
+            Err(ExperimentError::Checkpoint(message)) => {
+                assert!(
+                    message.contains("overlapping shard ranges"),
+                    "got: {message}"
+                );
+            }
+            other => panic!("expected an overlap abort, got {other:?}"),
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -25,13 +25,17 @@
 
 mod campaign;
 mod distrib;
+mod faults;
 mod figures;
 mod multiday;
 mod surface;
 mod tables;
 
 pub use campaign::{ApProfile, CampaignFleetResult};
-pub use distrib::{run_campaign_shard, ShardOutcome, ShardPlan};
+pub use distrib::{
+    run_campaign_shard, scan_journal, write_journal_entry, JournalScan, ShardOutcome, ShardPlan,
+};
+pub use faults::{FaultKind, FaultPlan, FAULT_DIR_ENV, FAULT_PLAN_ENV};
 pub use multiday::{
     run_campaign_with_checkpoint, run_campaign_with_checkpoint_ctx, DayStats,
 };
@@ -648,6 +652,10 @@ pub enum ExperimentError {
     /// A multi-day campaign checkpoint could not be read, written or matched
     /// against the current configuration.
     Checkpoint(String),
+    /// A distributed shard range could not be completed: its worker
+    /// processes kept failing until the coordinator's retry limit for that
+    /// range was exhausted. The message names the AP range.
+    Shard(String),
     /// The run was cooperatively cancelled via [`CancelToken::cancel`]. A
     /// multi-day campaign stops at the next day boundary *after* writing its
     /// per-day checkpoint, so `completed_days` days are durable and a
@@ -665,6 +673,7 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Config(message) => write!(f, "invalid configuration: {message}"),
             ExperimentError::Panicked(message) => write!(f, "experiment panicked: {message}"),
             ExperimentError::Checkpoint(message) => write!(f, "campaign checkpoint: {message}"),
+            ExperimentError::Shard(message) => write!(f, "distributed shard failed: {message}"),
             ExperimentError::Cancelled { completed_days } => {
                 write!(f, "run cancelled after {completed_days} completed day(s)")
             }
@@ -679,6 +688,7 @@ impl std::error::Error for ExperimentError {
             ExperimentError::Config(_)
             | ExperimentError::Panicked(_)
             | ExperimentError::Checkpoint(_)
+            | ExperimentError::Shard(_)
             | ExperimentError::Cancelled { .. } => None,
         }
     }

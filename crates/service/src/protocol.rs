@@ -15,6 +15,25 @@ use parasite::experiments::{DayStats, ExperimentId, RunConfig};
 use parasite::json::{Json, ToJson};
 use std::path::PathBuf;
 
+/// The machine-readable `code` values the daemon attaches to
+/// [`Response::Error`]. Every error the daemon itself originates carries
+/// one, so scripted clients can branch without parsing prose; the full
+/// catalogue (with when each fires) lives in `PROTOCOL.md`.
+pub mod codes {
+    /// The request was malformed, referenced an unknown run, or failed
+    /// validation.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The bounded submission queue is at its limit; retry after a worker
+    /// drains it.
+    pub const QUEUE_FULL: &str = "queue_full";
+    /// The run was cooperatively cancelled before it could finish.
+    pub const CANCELLED: &str = "cancelled";
+    /// The run failed or panicked inside the daemon.
+    pub const INTERNAL: &str = "internal";
+    /// The daemon is shutting down and no longer accepts work.
+    pub const UNAVAILABLE: &str = "unavailable";
+}
+
 /// A client-to-daemon request: one JSON object on one line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -683,6 +702,22 @@ mod tests {
             Response::parse_line("{\"type\": \"error\", \"message\": \"old\"}"),
             Ok(Response::Error { message: "old".to_string(), code: None })
         );
+        // Every catalogued code survives the wire round trip verbatim.
+        for code in [
+            codes::BAD_REQUEST,
+            codes::QUEUE_FULL,
+            codes::CANCELLED,
+            codes::INTERNAL,
+            codes::UNAVAILABLE,
+        ] {
+            let error = Response::Error {
+                message: format!("an error coded {code}"),
+                code: Some(code.to_string()),
+            };
+            let line = error.to_json().to_string();
+            assert!(line.contains(&format!("\"code\":\"{code}\"")), "got: {line}");
+            assert_eq!(Response::parse_line(&line), Ok(error));
+        }
     }
 
     #[test]

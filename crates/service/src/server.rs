@@ -24,19 +24,21 @@
 //! itself can be bounded with [`ServeOptions::queue_limit`]; submissions
 //! past the bound are rejected with a typed `queue_full` error.
 
-use crate::protocol::{Request, Response, RunOutcome, RunState, RunStatus};
+use crate::protocol::{codes, Request, Response, RunOutcome, RunState, RunStatus};
 use mp_netsim::sim::SharedBudget;
 use parasite::experiments::{
     run_campaign_shard, run_campaign_with_checkpoint_ctx, Artifact, ArtifactData, CancelToken,
-    DaySink, DayStats, ExperimentError, ExperimentId, Registry, RunConfig, RunCtx, ShardPlan,
+    DaySink, DayStats, ExperimentError, ExperimentId, FaultKind, FaultPlan, Registry, RunConfig,
+    RunCtx, ShardPlan,
 };
 use parasite::json::{Json, ToJson};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::fs::FileTypeExt;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -126,12 +128,44 @@ pub struct Daemon {
     tcp_addr: Option<SocketAddr>,
 }
 
+/// Binds the unix socket, recovering from the stale file a crashed daemon
+/// leaves behind: if the path holds a socket nobody answers (the connect
+/// probe is refused), the file is removed and the bind retried. A live
+/// daemon, or any non-socket file at the path, keeps its `AddrInUse` error —
+/// a regular file is someone's data, not ours to clobber.
+fn bind_unix(path: &Path) -> io::Result<UnixListener> {
+    match UnixListener::bind(path) {
+        Ok(listener) => Ok(listener),
+        Err(error) if error.kind() == io::ErrorKind::AddrInUse => {
+            let stale_socket = std::fs::symlink_metadata(path)
+                .map(|meta| meta.file_type().is_socket())
+                .unwrap_or(false);
+            if !stale_socket {
+                return Err(error);
+            }
+            match UnixStream::connect(path) {
+                Ok(_) => Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("another daemon is already listening on {}", path.display()),
+                )),
+                Err(probe) if probe.kind() == io::ErrorKind::ConnectionRefused => {
+                    std::fs::remove_file(path)?;
+                    UnixListener::bind(path)
+                }
+                Err(_) => Err(error),
+            }
+        }
+        Err(error) => Err(error),
+    }
+}
+
 impl Daemon {
-    /// Binds the listeners and spawns the accept and worker threads. The unix
-    /// socket must not already exist (a stale file from an unclean previous
-    /// daemon should be inspected, not silently clobbered).
+    /// Binds the listeners and spawns the accept and worker threads. A stale
+    /// socket file from a crashed previous daemon is detected (nobody
+    /// answers a connect probe) and removed; a path where a daemon still
+    /// listens, or that holds a non-socket file, refuses to bind.
     pub fn start(options: ServeOptions) -> io::Result<Daemon> {
-        let unix = UnixListener::bind(&options.socket)?;
+        let unix = bind_unix(&options.socket)?;
         unix.set_nonblocking(true)?;
         let tcp = match &options.tcp {
             Some(addr) => {
@@ -251,6 +285,14 @@ impl Connection {
         writeln!(self.writer, "{}", response.to_json())?;
         self.writer.flush()
     }
+
+    /// Writes a pre-rendered (possibly deliberately malformed) line; the
+    /// fault-injection garble path uses this to put a truncated response on
+    /// the wire.
+    fn write_raw_line(&mut self, line: &str) -> io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
 }
 
 fn spawn_connection(shared: &Arc<Shared>, connection: io::Result<Connection>) {
@@ -300,8 +342,15 @@ fn serve_line(shared: &Arc<Shared>, connection: &mut Connection, line: &str) -> 
             let is_shutdown = matches!(request, Request::Shutdown);
             dispatch(shared, connection, request).is_ok() && !is_shutdown
         }
-        Err(message) => connection.write_line(&Response::Error { message, code: None }).is_ok(),
+        Err(message) => connection
+            .write_line(&Response::Error { message, code: coded(codes::BAD_REQUEST) })
+            .is_ok(),
     }
+}
+
+/// Wraps a protocol error-code constant for a [`Response::Error`].
+fn coded(code: &str) -> Option<String> {
+    Some(code.to_string())
 }
 
 fn dispatch(
@@ -319,7 +368,9 @@ fn dispatch(
                     }
                     Ok(())
                 }
-                Err((message, code)) => connection.write_line(&Response::Error { message, code }),
+                Err((message, code)) => {
+                    connection.write_line(&Response::Error { message, code: coded(code) })
+                }
             }
         }
         Request::Status { run } => {
@@ -327,7 +378,7 @@ fn dispatch(
             match (run, runs.is_empty()) {
                 (Some(run), true) => connection.write_line(&Response::Error {
                     message: format!("unknown run {run}"),
-                    code: None,
+                    code: coded(codes::BAD_REQUEST),
                 }),
                 _ => connection.write_line(&Response::Status { runs }),
             }
@@ -338,7 +389,7 @@ fn dispatch(
             } else {
                 connection.write_line(&Response::Error {
                     message: format!("unknown run {run}"),
-                    code: None,
+                    code: coded(codes::BAD_REQUEST),
                 })
             }
         }
@@ -353,7 +404,7 @@ fn dispatch(
             }
             None => connection.write_line(&Response::Error {
                 message: format!("unknown run {run}"),
-                code: None,
+                code: coded(codes::BAD_REQUEST),
             }),
         },
         Request::Shutdown => {
@@ -361,19 +412,45 @@ fn dispatch(
             connection.write_line(&Response::ShuttingDown { active_runs })
         }
         Request::ShardSubmit { config, first_ap, aps } => {
+            // The deterministic fault plan (MP_FAULT_PLAN, see PROTOCOL.md)
+            // also covers the daemon's shard path, so a coordinator fanning
+            // out over daemons can be chaos-tested: crash before the result,
+            // hang until the coordinator's timeout kills us, or garble the
+            // result line.
+            let fault = FaultPlan::global().and_then(FaultPlan::claim_assignment);
+            match fault {
+                Some(FaultKind::Crash) => std::process::exit(3),
+                Some(FaultKind::Hang) => loop {
+                    std::thread::sleep(Duration::from_secs(3600));
+                },
+                _ => {}
+            }
             match shard_submit(shared, *config, first_ap, aps) {
                 Ok((run, outcome)) => {
-                    connection.write_line(&Response::ShardResult { run, outcome })
+                    let response = Response::ShardResult { run, outcome };
+                    if matches!(fault, Some(FaultKind::Garble) | Some(FaultKind::Torn)) {
+                        let line = response.to_json().to_string();
+                        let plan = FaultPlan::global().expect("a fault implies a plan");
+                        let mut cut = plan.garble_point(line.len());
+                        while !line.is_char_boundary(cut) {
+                            cut -= 1;
+                        }
+                        connection.write_raw_line(&line[..cut])
+                    } else {
+                        connection.write_line(&response)
+                    }
                 }
-                Err((message, code)) => connection.write_line(&Response::Error { message, code }),
+                Err((message, code)) => {
+                    connection.write_line(&Response::Error { message, code: coded(code) })
+                }
             }
         }
     }
 }
 
-/// A rejected submission: the error message plus an optional
-/// machine-readable code for typed failures like a full queue.
-type SubmitError = (String, Option<String>);
+/// A rejected submission: the error message plus its machine-readable
+/// [`codes`] constant — every daemon-originated error is typed.
+type SubmitError = (String, &'static str);
 
 /// Validates and enqueues a submission, returning the new run id.
 fn submit(
@@ -383,7 +460,10 @@ fn submit(
     checkpoint: Option<PathBuf>,
 ) -> Result<u64, SubmitError> {
     if shared.shutdown.load(Ordering::SeqCst) {
-        return Err(("daemon is shutting down; submission rejected".to_string(), None));
+        return Err((
+            "daemon is shutting down; submission rejected".to_string(),
+            codes::UNAVAILABLE,
+        ));
     }
     if checkpoint.is_some() {
         // Mirror the CLI's batch-mode contract: checkpoints belong to
@@ -394,18 +474,21 @@ fn submit(
                     "checkpoint submissions must run campaign_fleet, not {}",
                     experiment.as_str()
                 ),
-                None,
+                codes::BAD_REQUEST,
             ));
         }
         if config.fleet_days < 2 {
-            return Err(("checkpoint submissions need fleet_days >= 2".to_string(), None));
+            return Err((
+                "checkpoint submissions need fleet_days >= 2".to_string(),
+                codes::BAD_REQUEST,
+            ));
         }
     }
     let mut state = shared.state.lock().unwrap();
     if shared.queue_limit > 0 && state.queue.len() >= shared.queue_limit {
         return Err((
             format!("submission queue is full (limit {})", shared.queue_limit),
-            Some("queue_full".to_string()),
+            codes::QUEUE_FULL,
         ));
     }
     state.next_run += 1;
@@ -444,17 +527,20 @@ fn shard_submit(
     aps: usize,
 ) -> Result<(u64, Json), SubmitError> {
     if shared.shutdown.load(Ordering::SeqCst) {
-        return Err(("daemon is shutting down; submission rejected".to_string(), None));
+        return Err((
+            "daemon is shutting down; submission rejected".to_string(),
+            codes::UNAVAILABLE,
+        ));
     }
     if config.fleet_days < 2 {
-        return Err(("shard submissions need fleet_days >= 2".to_string(), None));
+        return Err(("shard submissions need fleet_days >= 2".to_string(), codes::BAD_REQUEST));
     }
     if config.global_event_budget > 0 {
         return Err((
             "shard submissions cannot carry a global_event_budget; a budget pool shared \
              across shards would make the merged result depend on worker scheduling"
                 .to_string(),
-            None,
+            codes::BAD_REQUEST,
         ));
     }
     let mut state = shared.state.lock().unwrap();
@@ -500,12 +586,21 @@ fn shard_submit(
         }
         Ok(Err(ExperimentError::Cancelled { completed_days })) => {
             finish(&entry, RunOutcome::Cancelled { days_completed: completed_days });
-            Err((format!("shard run {run} was cancelled after {completed_days} days"), None))
+            Err((
+                format!("shard run {run} was cancelled after {completed_days} days"),
+                codes::CANCELLED,
+            ))
         }
         Ok(Err(error)) => {
+            // A configuration the campaign rejects is the client's fault;
+            // everything else failed inside the daemon.
+            let code = match &error {
+                ExperimentError::Config(_) => codes::BAD_REQUEST,
+                _ => codes::INTERNAL,
+            };
             let message = error.to_string();
             finish(&entry, RunOutcome::Failed { message: message.clone() });
-            Err((message, None))
+            Err((message, code))
         }
         Err(panic) => {
             let message = panic
@@ -515,7 +610,7 @@ fn shard_submit(
                 .unwrap_or_else(|| "run panicked".to_string());
             let message = format!("shard run panicked: {message}");
             finish(&entry, RunOutcome::Failed { message: message.clone() });
-            Err((message, None))
+            Err((message, codes::INTERNAL))
         }
     }
 }
@@ -549,7 +644,7 @@ fn stream_run(shared: &Arc<Shared>, connection: &mut Connection, run: u64) -> io
     let Some(entry) = entry_for(shared, run) else {
         return connection.write_line(&Response::Error {
             message: format!("unknown run {run}"),
-            code: None,
+            code: coded(codes::BAD_REQUEST),
         });
     };
     let mut cursor = 0usize;

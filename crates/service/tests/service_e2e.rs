@@ -405,20 +405,27 @@ fn protocol_violations_get_pointed_error_responses() {
     let daemon = Daemon::start(ServeOptions::new(&socket)).expect("daemon starts");
     let mut client = connect(&socket);
 
+    // Every daemon-originated error now carries a machine-readable code.
     let error_for = |client: &mut Client, request: &Request| {
         match client.request(request).expect("response") {
-            Response::Error { message, .. } => message,
+            Response::Error { message, code } => {
+                (message, code.expect("every daemon error carries a code"))
+            }
             other => panic!("expected an error response, got {other:?}"),
         }
     };
-    assert!(error_for(&mut client, &Request::Cancel { run: 99 }).contains("unknown run 99"));
-    assert!(error_for(&mut client, &Request::Watch { run: 42 }).contains("unknown run 42"));
-    assert!(
-        error_for(&mut client, &Request::Status { run: Some(7) }).contains("unknown run 7")
-    );
+    let (message, code) = error_for(&mut client, &Request::Cancel { run: 99 });
+    assert!(message.contains("unknown run 99"));
+    assert_eq!(code, "bad_request");
+    let (message, code) = error_for(&mut client, &Request::Watch { run: 42 });
+    assert!(message.contains("unknown run 42"));
+    assert_eq!(code, "bad_request");
+    let (message, code) = error_for(&mut client, &Request::Status { run: Some(7) });
+    assert!(message.contains("unknown run 7"));
+    assert_eq!(code, "bad_request");
     // Checkpoints are a multi-day campaign_fleet contract, mirrored from the
     // CLI's batch mode.
-    let message = error_for(
+    let (message, code) = error_for(
         &mut client,
         &Request::Submit {
             experiment: ExperimentId::Fig4,
@@ -428,7 +435,8 @@ fn protocol_violations_get_pointed_error_responses() {
         },
     );
     assert!(message.contains("campaign_fleet"), "got: {message}");
-    let message = error_for(
+    assert_eq!(code, "bad_request");
+    let (message, code) = error_for(
         &mut client,
         &Request::Submit {
             experiment: ExperimentId::CampaignFleet,
@@ -438,6 +446,7 @@ fn protocol_violations_get_pointed_error_responses() {
         },
     );
     assert!(message.contains("fleet_days"), "got: {message}");
+    assert_eq!(code, "bad_request");
 
     // A non-JSON line gets an error response instead of killing the
     // connection: the next request on the same socket still works.
@@ -448,11 +457,54 @@ fn protocol_violations_get_pointed_error_responses() {
     writeln!(raw, "this is not json").expect("write garbage");
     std::io::BufRead::read_line(&mut reader, &mut line).expect("error line");
     assert!(line.contains("not valid JSON"), "got: {line}");
+    assert!(line.contains("\"code\":\"bad_request\""), "got: {line}");
     writeln!(raw, "{}", Request::Status { run: None }.to_json()).expect("write status");
     line.clear();
     std::io::BufRead::read_line(&mut reader, &mut line).expect("status line");
     assert!(line.contains("\"type\":\"status\""), "got: {line}");
 
     shutdown_and_wait(daemon, &socket);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_stale_socket_is_recovered_but_a_live_daemon_is_not_clobbered() {
+    let dir = temp_dir("stale-socket");
+    let socket = dir.join("daemon.sock");
+
+    // Fake an unclean death: bind a socket and drop the listener without
+    // removing the file (what a kill -9 leaves behind).
+    let stale = std::os::unix::net::UnixListener::bind(&socket).expect("first bind");
+    drop(stale);
+    assert!(socket.exists(), "the stale socket file must be left behind");
+
+    // A new daemon detects that nobody answers, removes the stale file and
+    // binds; a second daemon on the same path is refused — the first one is
+    // alive and answering.
+    let daemon = Daemon::start(ServeOptions::new(&socket)).expect("stale socket recovered");
+    let error = match Daemon::start(ServeOptions::new(&socket)) {
+        Err(error) => error,
+        Ok(_) => panic!("a live daemon's socket must not be clobbered"),
+    };
+    assert!(
+        error.to_string().contains("already listening"),
+        "got: {error}"
+    );
+    // The live daemon survived the probe and still serves.
+    let mut client = connect(&socket);
+    match client.request(&Request::Status { run: None }).expect("status response") {
+        Response::Status { runs } => assert!(runs.is_empty()),
+        other => panic!("expected status, got {other:?}"),
+    }
+    shutdown_and_wait(daemon, &socket);
+
+    // A non-socket file at the path is someone's data: never removed.
+    std::fs::write(&socket, "precious").expect("plant a regular file");
+    let error = match Daemon::start(ServeOptions::new(&socket)) {
+        Err(error) => error,
+        Ok(_) => panic!("a regular file must not be clobbered"),
+    };
+    assert_eq!(error.kind(), std::io::ErrorKind::AddrInUse);
+    assert_eq!(std::fs::read_to_string(&socket).expect("file survives"), "precious");
     let _ = std::fs::remove_dir_all(&dir);
 }
