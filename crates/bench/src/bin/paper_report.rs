@@ -57,6 +57,12 @@ SUBCOMMANDS (service mode, newline-JSON protocol; see PROTOCOL.md):
                           resumable checkpoint
     shutdown              cancel everything and stop the daemon
 
+SUBCOMMANDS (static analysis):
+    lint                  run the mp-lint determinism & protocol pass over
+                          the workspace sources (--json, --fix-hints,
+                          --root <dir>); exits 1 on any diagnostic; see the
+                          README's \"Static analysis\" section
+
 SERVICE OPTIONS:
     --socket <path>       unix socket the daemon binds / clients dial
     --tcp <addr>          TCP address (serve: extra listener; clients: dial
@@ -504,6 +510,7 @@ fn main() -> ExitCode {
         Some("watch") => return service::watch(&args[1..]),
         Some("cancel") => return service::cancel(&args[1..]),
         Some("shutdown") => return service::shutdown(&args[1..]),
+        Some("lint") => return lint_cmd::run(&args[1..]),
         _ => {}
     }
     batch(&args)
@@ -1407,6 +1414,9 @@ mod distribute {
                         let plan = plans[index];
                         let range =
                             format!("[{}, {})", plan.first_ap, plan.first_ap + plan.aps);
+                        // Supervision-layer wall-clock read: worker
+                        // deadlines are real time, not simulated time.
+                        // mp-lint: allow(wallclock)
                         let started = Instant::now();
                         match self.run_worker(plan) {
                             Ok(outcome) => {
@@ -1509,11 +1519,15 @@ mod distribute {
                 .take()
                 .ok_or_else(|| "worker stdout unavailable".to_string())?;
             let (sender, receiver) = mpsc::channel();
+            // Supervision-layer reader thread: it only shuttles one reply
+            // line into the timeout loop. mp-lint: allow(thread-spawn)
             std::thread::spawn(move || {
                 let mut reply = String::new();
                 let read = BufReader::new(stdout).read_line(&mut reply);
                 let _ = sender.send(read.map(|bytes| (bytes, reply)));
             });
+            // Supervision-layer wall-clock read (shard timeout clock).
+            // mp-lint: allow(wallclock)
             let started = Instant::now();
             let read = loop {
                 match receiver.recv_timeout(Duration::from_millis(100)) {
@@ -1605,5 +1619,78 @@ mod distribute {
             .ok_or_else(|| "worker reply is missing \"outcome\"".to_string())?;
         ShardOutcome::from_checkpoint_json(outcome, config)
             .map_err(|message| format!("worker outcome rejected: it {message}"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static analysis: the mp-lint subcommand
+// ---------------------------------------------------------------------------
+
+mod lint_cmd {
+    use parasite::json::ToJson;
+    use std::path::PathBuf;
+    use std::process::ExitCode;
+
+    const LINT_USAGE: &str = "\
+usage: paper-report lint [--json] [--fix-hints] [--root <dir>]
+
+    --json                emit the report as one structured JSON document
+                          (diagnostics plus the extracted seed-tag registry)
+    --fix-hints           append a remediation hint under each finding
+    --root <dir>          workspace root to scan [default: current directory]
+
+exit status: 0 clean, 1 diagnostics found, 2 usage/setup error
+";
+
+    pub fn run(args: &[String]) -> ExitCode {
+        let mut json = false;
+        let mut fix_hints = false;
+        let mut root: Option<PathBuf> = None;
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--json" => json = true,
+                "--fix-hints" => fix_hints = true,
+                "--root" => match iter.next() {
+                    Some(dir) => root = Some(PathBuf::from(dir)),
+                    None => return usage_error("--root requires a directory argument"),
+                },
+                "-h" | "--help" => {
+                    print!("{LINT_USAGE}");
+                    return ExitCode::SUCCESS;
+                }
+                other => return usage_error(&format!("unknown lint flag {other:?}")),
+            }
+        }
+        let root = match root {
+            Some(dir) => dir,
+            None => match std::env::current_dir() {
+                Ok(dir) => dir,
+                Err(error) => {
+                    return usage_error(&format!("cannot resolve current directory: {error}"))
+                }
+            },
+        };
+        match mp_lint::run_workspace(&root) {
+            Ok(report) => {
+                if json {
+                    println!("{}", report.to_json());
+                } else {
+                    print!("{}", report.render_text(fix_hints));
+                }
+                if report.clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(1)
+                }
+            }
+            Err(message) => usage_error(&message),
+        }
+    }
+
+    fn usage_error(message: &str) -> ExitCode {
+        eprintln!("error: {message}\n");
+        eprint!("{LINT_USAGE}");
+        ExitCode::from(2)
     }
 }

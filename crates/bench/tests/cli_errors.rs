@@ -171,6 +171,43 @@ fn client_subcommands_without_a_daemon_exit_2_with_a_hint() {
 }
 
 #[test]
+fn lint_usage_errors_exit_2_with_the_lint_usage_hint() {
+    // Unknown lint flags are refused with the lint subcommand's own usage
+    // block, not the batch-mode usage.
+    assert_rejected(&["lint", "--bogus"], "unknown lint flag \"--bogus\"");
+    assert_rejected(&["lint", "--bogus"], "paper-report lint [--json]");
+    assert_rejected(&["lint", "--fix"], "unknown lint flag \"--fix\"");
+    // --root needs its directory argument, and the directory must be a
+    // workspace root (Cargo.toml + crates/).
+    assert_rejected(&["lint", "--root"], "requires a directory");
+    let empty = std::env::temp_dir().join(format!("mp-lint-not-a-root-{}", std::process::id()));
+    std::fs::create_dir_all(&empty).expect("temp dir");
+    assert_rejected(
+        &["lint", "--root", empty.to_str().expect("utf-8 temp path")],
+        "workspace root",
+    );
+    let _ = std::fs::remove_dir_all(&empty);
+}
+
+#[test]
+fn lint_runs_clean_on_this_workspace_and_emits_json() {
+    // The shipped workspace must lint clean through the public CLI — the
+    // same contract CI enforces with a blocking job.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let output = paper_report(&["lint", "--json", "--root", root]);
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "lint found diagnostics:\n{}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("\"clean\":true"));
+    assert!(stdout.contains("\"seed_tags\""));
+    assert!(stdout.contains("SHARD_TAG"));
+}
+
+#[test]
 fn valid_extension_combos_run_and_exit_zero() {
     // The same flags accept once their experiment is selected: a tiny
     // surface grid runs to completion with exit code 0 and JSON output.

@@ -14,7 +14,7 @@ use mp_httpsim::caching::{CachePolicy, Freshness};
 use mp_httpsim::message::Response;
 use mp_httpsim::url::Url;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A stored cache entry.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,7 +60,10 @@ impl CacheLookup {
 pub struct HttpCache {
     profile: BrowserProfile,
     policy: CachePolicy,
-    entries: HashMap<String, CacheEntry>,
+    // Keyed storage is ordered (BTreeMap) so every iteration — budget sums,
+    // eviction scans, per-host accounting — is deterministic by construction
+    // rather than by hash-seed accident.
+    entries: BTreeMap<String, CacheEntry>,
     use_counter: u64,
     /// Peak bytes ever held — the quantity that matters for the IE
     /// unbounded-growth failure mode.
@@ -75,7 +78,7 @@ impl HttpCache {
         HttpCache {
             profile,
             policy: CachePolicy::private_cache(),
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             use_counter: 0,
             peak_bytes: 0,
             evicted_entries: 0,

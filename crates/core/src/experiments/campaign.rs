@@ -40,10 +40,20 @@ pub(super) const MAX_CLIENTS_PER_AP: usize = 65_536;
 /// both the per-AP simulation seeds (`mix_seed(seed, index)`) and the shard
 /// seeds (`mix_seed(seed, SHARD_TAG ^ index)`), so heterogeneity never
 /// perturbs the race RNG itself.
-const PROFILE_TAG: u64 = 0x00f1_7e00_ab5e_ed00;
+pub(super) const PROFILE_TAG: u64 = 0x00f1_7e00_ab5e_ed00;
 
 /// Seed-stream tag for shard seed derivation (see [`campaign_fleet`]).
-const SHARD_TAG: u64 = 0x5eed_5a4d;
+///
+/// Follows the 64-bit high-lane convention shared by every tag in
+/// [`super::SEED_TAG_REGISTRY`]: the top 16 bits (here `0x5a4d`) identify
+/// the stream family. The tag's value migrated from the original 32-bit
+/// `0x5eed_5a4d`; shard seeds only feed the classic single-day seed sweep,
+/// whose race outcomes are seed-independent at jitter 0 (pinned by
+/// `sharded_and_unsharded_fleets_agree_on_the_logical_population` and the
+/// byte-identity regression in `tests/shard_tag_migration.rs`), and the
+/// checkpoint fingerprint never includes shard scheduling, so old
+/// checkpoints and merged reports are unaffected.
+pub(super) const SHARD_TAG: u64 = 0x5a4d_0000_0000_0000;
 
 // ---------------------------------------------------------------------------
 // Per-AP heterogeneity
@@ -641,35 +651,36 @@ mod tests {
     #[test]
     fn shard_seed_streams_cannot_collide_with_each_other_or_with_ap_seeds() {
         // The splitmix-derived streams must be pairwise disjoint for any
-        // realistic campaign: shard seeds (SHARD_TAG stream), per-AP seeds
-        // (untagged stream), heterogeneity profile seeds (PROFILE_TAG
-        // stream), the per-seat visit-habit stream (VISIT_TAG), and the
-        // attack-surface grid streams (SURFACE_TAG for the per-cell race
-        // worlds, ADOPT_TAG for the adoption draws), across several campaign
-        // seeds. The old additive offsets collided as soon as offsets
-        // overlapped; hashed streams do not.
+        // realistic campaign. The stream families are swept from
+        // SEED_TAG_REGISTRY — the same source of truth the mp-lint seed-tag
+        // rule extracts statically — so a tag added anywhere in the
+        // workspace is collision-checked here without editing this test.
+        // The old additive offsets collided as soon as offsets overlapped;
+        // hashed streams do not.
         use super::super::distrib::SEAT_TAG;
-        use super::super::multiday::{DAY_TAG, VISIT_TAG};
+        use super::super::multiday::DAY_TAG;
         use super::super::surface::{cell_tag, ADOPT_TAG, SURFACE_TAG};
+        use super::super::SEED_TAG_REGISTRY;
         let mut seen = HashSet::new();
         let mut expected = 0usize;
         for campaign_seed in [0u64, 1, 2021, u64::MAX] {
-            seen.insert(mix_seed(campaign_seed, VISIT_TAG));
-            expected += 1;
+            // First generation: the untagged per-AP stream plus every
+            // registered tag stream, over a realistic index range.
             for index in 0..512u64 {
-                seen.insert(mix_seed(campaign_seed, SHARD_TAG ^ index));
                 seen.insert(mix_seed(campaign_seed, index));
-                seen.insert(mix_seed(campaign_seed, PROFILE_TAG ^ index));
-                expected += 3;
+                expected += 1;
+                for (_name, tag) in SEED_TAG_REGISTRY {
+                    seen.insert(mix_seed(campaign_seed, tag ^ index));
+                    expected += 1;
+                }
             }
             // The per-day streams derive a second generation of seeds: each
-            // day's seed feeds per-(day, AP) seat streams (SEAT_TAG) and
-            // per-(day, AP) simulation seeds (untagged). All of them must
-            // stay disjoint from each other and from the first generation.
+            // day's seed (covered by the DAY_TAG sweep above) feeds
+            // per-(day, AP) seat streams (SEAT_TAG) and per-(day, AP)
+            // simulation seeds (untagged). All of them must stay disjoint
+            // from each other and from the first generation.
             for day in 1..=8u64 {
                 let day_seed = mix_seed(campaign_seed, DAY_TAG ^ day);
-                seen.insert(day_seed);
-                expected += 1;
                 for ap in 0..64u64 {
                     seen.insert(mix_seed(day_seed, SEAT_TAG ^ ap));
                     seen.insert(mix_seed(day_seed, ap));
@@ -678,11 +689,16 @@ mod tests {
             }
             // Surface grid cells use packed (vector, delay, wan, jitter)
             // coordinates; sweep a grid larger than any realistic run.
+            // Cells whose packed tag is below 512 are already covered by
+            // the registry index sweep.
             for vector in 0..4usize {
                 for delay in 0..16usize {
                     for wan in 0..4usize {
                         for jitter in 0..2usize {
                             let tag = cell_tag(vector, delay, wan, jitter);
+                            if tag < 512 {
+                                continue;
+                            }
                             seen.insert(mix_seed(campaign_seed, SURFACE_TAG ^ tag));
                             seen.insert(mix_seed(campaign_seed, ADOPT_TAG ^ tag));
                             expected += 2;

@@ -44,7 +44,7 @@ pub const FAULT_PLAN_ENV: &str = "MP_FAULT_PLAN";
 pub const FAULT_DIR_ENV: &str = "MP_FAULT_DIR";
 
 /// Seed-stream tag for the garble cut-point draws.
-const GARBLE_TAG: u64 = 0x9a2b_1e00_0000_0000;
+pub(super) const GARBLE_TAG: u64 = 0x9a2b_1e00_0000_0000;
 
 /// One kind of injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

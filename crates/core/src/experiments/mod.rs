@@ -62,6 +62,28 @@ use std::sync::Mutex;
 /// The C&C host used by all experiments.
 pub const MASTER_HOST: &str = "master.attacker.example";
 
+/// The seed-tag registry: every splitmix stream-family tag in the workspace,
+/// by name and value.
+///
+/// Deterministic replay derives each independent RNG stream as
+/// `mix_seed(seed, TAG ^ index)`; for the streams to be provably disjoint,
+/// every tag must be a u64 whose top 16 bits (its *lane*) are unique. This
+/// constant is the runtime's single source of truth: the collision test in
+/// `campaign.rs` sweeps it, `mp-lint`'s `seed-tag` rule extracts the same
+/// constants statically and its workspace test asserts the two views agree,
+/// and `paper-report lint --json` emits the registry for external tooling.
+pub const SEED_TAG_REGISTRY: &[(&str, u64)] = &[
+    ("SURFACE_TAG", surface::SURFACE_TAG),
+    ("ADOPT_TAG", surface::ADOPT_TAG),
+    ("PROFILE_TAG", campaign::PROFILE_TAG),
+    ("SHARD_TAG", campaign::SHARD_TAG),
+    ("SEAT_TAG", distrib::SEAT_TAG),
+    ("DAY_TAG", multiday::DAY_TAG),
+    ("TARGET_TAG", multiday::TARGET_TAG),
+    ("VISIT_TAG", multiday::VISIT_TAG),
+    ("GARBLE_TAG", faults::GARBLE_TAG),
+];
+
 pub(crate) fn standard_infector() -> Infector {
     Infector::new(Parasite::standard(MASTER_HOST))
 }
@@ -870,6 +892,8 @@ pub trait Experiment: Send + Sync {
     fn run(&self, config: &RunConfig) -> Artifact {
         match self.try_run(config) {
             Ok(artifact) => artifact,
+            // Documented panicking convenience wrapper; try_run is the
+            // typed-error path. mp-lint: allow(panic-discipline)
             Err(error) => panic!("experiment {} failed: {error}", self.id()),
         }
     }
@@ -1059,6 +1083,8 @@ pub fn run_many(ids: &[ExperimentId], configs: &[RunConfig], jobs: usize) -> Vec
         .zip(ids.iter().flat_map(|id| configs.iter().map(move |_| *id)))
         .map(|(result, id)| match result {
             Ok(artifact) => artifact,
+            // Documented panicking convenience wrapper; try_run_many is the
+            // typed-error path. mp-lint: allow(panic-discipline)
             Err(error) => panic!("experiment {id} failed: {error}"),
         })
         .collect()

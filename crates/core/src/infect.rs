@@ -89,6 +89,7 @@ impl Infector {
                     None => format!("{html}{script_block}"),
                 }
             }
+            // Guarded by the can_infect check above. mp-lint: allow(panic-discipline)
             _ => unreachable!("can_infect filtered other kinds"),
         };
 

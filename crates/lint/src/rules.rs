@@ -1,0 +1,623 @@
+//! The lint rules.
+//!
+//! Every rule produces [`Diagnostic`]s carrying a rule name, a repo-relative
+//! `file:line` span and a message, and every rule honours the
+//! `// mp-lint: allow(<rule>)` suppression comment placed on the flagged
+//! line or the line directly above it. Test code — anything under a
+//! `tests/` directory or inside a `#[cfg(test)]` region — is exempt from
+//! the runtime-behaviour rules (nondet-iter, wallclock, thread-spawn,
+//! panic-discipline).
+
+use crate::tokens::{SourceFile, Tok, TokKind};
+
+pub const SEED_TAG: &str = "seed-tag";
+pub const NONDET_ITER: &str = "nondet-iter";
+pub const WALLCLOCK: &str = "wallclock";
+pub const THREAD_SPAWN: &str = "thread-spawn";
+pub const PANIC_DISCIPLINE: &str = "panic-discipline";
+pub const DOC_SYNC: &str = "doc-sync";
+
+/// Every rule the engine knows, in catalogue order.
+pub const ALL_RULES: [&str; 6] = [
+    SEED_TAG,
+    NONDET_ITER,
+    WALLCLOCK,
+    THREAD_SPAWN,
+    PANIC_DISCIPLINE,
+    DOC_SYNC,
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn render(&self) -> String {
+        format!("{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// A one-line remediation hint per rule, shown under `--fix-hints`.
+pub fn fix_hint(rule: &str) -> &'static str {
+    match rule {
+        SEED_TAG => {
+            "give every seed tag a u64 value with a unique non-zero top-16-bit \
+             lane (e.g. 0x5a4d_0000_0000_0000) and register it in \
+             parasite::experiments::SEED_TAG_REGISTRY"
+        }
+        NONDET_ITER => {
+            "switch the container to BTreeMap/BTreeSet, collect-and-sort before \
+             draining, or use netsim's FxHashMap with an ordered drain"
+        }
+        WALLCLOCK => {
+            "derive time from the simulation clock; real-clock reads belong only \
+             in the supervision/timeout layer (annotate those with \
+             `// mp-lint: allow(wallclock)`)"
+        }
+        THREAD_SPAWN => {
+            "use parasite::experiments::parallel_tasks (scoped, deterministic \
+             join order) or annotate the sanctioned pool with \
+             `// mp-lint: allow(thread-spawn)`"
+        }
+        PANIC_DISCIPLINE => {
+            "return a typed ExperimentError/NetError, or document the invariant \
+             with `.expect(\"reason\")`; lock poisoning may propagate via \
+             `.lock().unwrap()`"
+        }
+        DOC_SYNC => "add the missing entry to the named document (PROTOCOL.md / README.md)",
+        _ => "no hint for this rule",
+    }
+}
+
+/// Path-derived scoping for the per-file rules.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope {
+    /// The whole file is test code (under a `tests/` directory).
+    pub test_code: bool,
+    /// The panic-discipline rule applies (library crates where typed
+    /// `ExperimentError`/`NetError` errors are the convention).
+    pub panic_rule: bool,
+}
+
+/// Derives the rule scope from a repo-relative path (forward slashes).
+pub fn scope_for(path: &str) -> Scope {
+    let test_code = path.starts_with("tests/") || path.contains("/tests/");
+    let panic_rule = ["crates/core/src/", "crates/netsim/src/", "crates/service/src/"]
+        .iter()
+        .any(|prefix| path.starts_with(prefix));
+    Scope {
+        test_code,
+        panic_rule: panic_rule && !test_code,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers
+// ---------------------------------------------------------------------------
+
+fn ident(tok: Option<&Tok>) -> Option<&str> {
+    match tok {
+        Some(Tok { kind: TokKind::Ident(name), .. }) => Some(name.as_str()),
+        _ => None,
+    }
+}
+
+fn punct(tok: Option<&Tok>, b: u8) -> bool {
+    matches!(tok, Some(Tok { kind: TokKind::Punct(p), .. }) if *p == b)
+}
+
+fn is_path_sep(toks: &[Tok], at: usize) -> bool {
+    punct(toks.get(at), b':') && punct(toks.get(at + 1), b':')
+}
+
+/// `#[cfg(test)]` line ranges: from the attribute to the matching close
+/// brace of the item that follows it.
+fn test_regions(file: &SourceFile) -> Vec<(u32, u32)> {
+    let toks = &file.toks;
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let is_cfg_test = punct(toks.get(i), b'#')
+            && punct(toks.get(i + 1), b'[')
+            && ident(toks.get(i + 2)) == Some("cfg")
+            && punct(toks.get(i + 3), b'(')
+            && ident(toks.get(i + 4)) == Some("test")
+            && punct(toks.get(i + 5), b')')
+            && punct(toks.get(i + 6), b']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = toks[i].line;
+        // Find the item's opening brace (a `mod tests;` declaration has
+        // none; the region is then empty).
+        let mut j = i + 7;
+        while j < toks.len() && !punct(toks.get(j), b'{') && !punct(toks.get(j), b';') {
+            j += 1;
+        }
+        if punct(toks.get(j), b'{') {
+            let mut depth = 0usize;
+            while j < toks.len() {
+                if punct(toks.get(j), b'{') {
+                    depth += 1;
+                } else if punct(toks.get(j), b'}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let end_line = toks.get(j).map_or(u32::MAX, |t| t.line);
+            regions.push((start_line, end_line));
+        }
+        i = j + 1;
+    }
+    regions
+}
+
+// ---------------------------------------------------------------------------
+// Per-file rules: nondet-iter, wallclock, thread-spawn, panic-discipline
+// ---------------------------------------------------------------------------
+
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Runs the per-file rules over one tokenized source file.
+pub fn lint_file(path: &str, file: &SourceFile) -> Vec<Diagnostic> {
+    let scope = scope_for(path);
+    if scope.test_code {
+        return Vec::new();
+    }
+    let regions = test_regions(file);
+    let in_test = |line: u32| regions.iter().any(|(lo, hi)| (*lo..=*hi).contains(&line));
+    let mut diags = Vec::new();
+    let mut emit = |rule: &'static str, line: u32, message: String| {
+        if !in_test(line) && !file.allows_rule(line, rule) {
+            diags.push(Diagnostic { rule, file: path.to_string(), line, message });
+        }
+    };
+
+    let toks = &file.toks;
+
+    // Pass 1: names declared with a HashMap/HashSet type or constructor.
+    // Test-region declarations are skipped so a test-local `HashSet` cannot
+    // poison a production identifier of the same name.
+    let mut hashed_names: Vec<String> = Vec::new();
+    for i in 0..toks.len() {
+        if in_test(toks[i].line) {
+            continue;
+        }
+        let Some(name) = ident(toks.get(i)) else { continue };
+        let after = i + 1;
+        let is_decl = (punct(toks.get(after), b':') && !is_path_sep(toks, after))
+            || punct(toks.get(after), b'=');
+        if !is_decl {
+            continue;
+        }
+        // Skip `&`, `mut` and `std::collections::` path prefixes between the
+        // declaration site and the type/constructor name.
+        let mut j = after + 1;
+        let mut budget = 8;
+        while budget > 0 {
+            budget -= 1;
+            match toks.get(j) {
+                Some(Tok { kind: TokKind::Punct(b'&' | b':'), .. }) => j += 1,
+                Some(Tok { kind: TokKind::Ident(word), .. })
+                    if word == "mut" || word == "std" || word == "collections" =>
+                {
+                    j += 1
+                }
+                _ => break,
+            }
+        }
+        if matches!(ident(toks.get(j)), Some("HashMap" | "HashSet"))
+            && !hashed_names.iter().any(|n| n == name)
+        {
+            hashed_names.push(name.to_string());
+        }
+    }
+
+    // Pass 2: the linear scan for all four rules.
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        match ident(toks.get(i)) {
+            // nondet-iter: `map.iter()` / `for x in &map` on a hashed name.
+            Some(name) if hashed_names.iter().any(|n| n == name) => {
+                if punct(toks.get(i + 1), b'.') {
+                    if let Some(method) = ident(toks.get(i + 2)) {
+                        if ITER_METHODS.contains(&method) {
+                            emit(
+                                NONDET_ITER,
+                                line,
+                                format!(
+                                    "`{name}.{method}()` iterates a HashMap/HashSet in \
+                                     nondeterministic order"
+                                ),
+                            );
+                        }
+                    }
+                }
+                let mut back = i;
+                while back > 0
+                    && (punct(toks.get(back - 1), b'&') || ident(toks.get(back - 1)) == Some("mut"))
+                {
+                    back -= 1;
+                }
+                if back > 0 && ident(toks.get(back - 1)) == Some("in") {
+                    emit(
+                        NONDET_ITER,
+                        line,
+                        format!("`for .. in {name}` iterates a HashMap/HashSet in nondeterministic order"),
+                    );
+                }
+            }
+            // wallclock: `Instant::now()` (netsim's simulated Instant has no
+            // `now`, so only real-clock reads match).
+            Some("Instant") if is_path_sep(toks, i + 1) && ident(toks.get(i + 3)) == Some("now") => {
+                emit(
+                    WALLCLOCK,
+                    line,
+                    "`Instant::now()` reads the wall clock; deterministic replay must not \
+                     depend on real time outside the supervision/timeout layer"
+                        .to_string(),
+                );
+            }
+            // wallclock: any SystemTime use.
+            Some("SystemTime") => {
+                emit(
+                    WALLCLOCK,
+                    line,
+                    "`SystemTime` is wall-clock time; deterministic replay must not depend \
+                     on real time outside the supervision/timeout layer"
+                        .to_string(),
+                );
+            }
+            // thread-spawn: `thread::spawn` outside the sanctioned pools.
+            Some("thread") if is_path_sep(toks, i + 1) && ident(toks.get(i + 3)) == Some("spawn") => {
+                emit(
+                    THREAD_SPAWN,
+                    line,
+                    "`thread::spawn` outside the sanctioned pools makes scheduling \
+                     nondeterministic; use parasite::experiments::parallel_tasks"
+                        .to_string(),
+                );
+            }
+            // panic-discipline: panic-family macros.
+            Some(mac @ ("panic" | "unreachable" | "todo" | "unimplemented"))
+                if scope.panic_rule && punct(toks.get(i + 1), b'!') =>
+            {
+                emit(
+                    PANIC_DISCIPLINE,
+                    line,
+                    format!(
+                        "`{mac}!` in a library crate; the convention is a typed \
+                         ExperimentError/NetError"
+                    ),
+                );
+            }
+            // panic-discipline: `.unwrap()` (lock poisoning exempt) and
+            // undocumented `.expect(..)`.
+            Some(call @ ("unwrap" | "expect"))
+                if scope.panic_rule
+                    && i > 0
+                    && punct(toks.get(i - 1), b'.')
+                    && punct(toks.get(i + 1), b'(') =>
+            {
+                if call == "unwrap" {
+                    if punct(toks.get(i + 2), b')') && !lock_receiver(toks, i - 1) {
+                        emit(
+                            PANIC_DISCIPLINE,
+                            line,
+                            "bare `.unwrap()` in a library crate; return a typed error or \
+                             document the invariant with `.expect(\"reason\")`"
+                                .to_string(),
+                        );
+                    }
+                } else if !expect_is_sanctioned(toks, i + 1) {
+                    emit(
+                        PANIC_DISCIPLINE,
+                        line,
+                        "`.expect(..)` without a string-literal justification; document \
+                         the invariant or return a typed error"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    diags
+}
+
+/// True when the receiver of `.unwrap()` at `dot` (the `.` token index) is a
+/// lock acquisition — `lock()`, `read()`, `write()`, `wait()`,
+/// `wait_timeout(..)` — where unwrapping propagates poisoning by convention.
+fn lock_receiver(toks: &[Tok], dot: usize) -> bool {
+    if dot == 0 || !punct(toks.get(dot - 1), b')') {
+        return false;
+    }
+    // Walk back over the balanced argument list to the call's open paren.
+    let mut depth = 0usize;
+    let mut k = dot - 1;
+    loop {
+        if punct(toks.get(k), b')') {
+            depth += 1;
+        } else if punct(toks.get(k), b'(') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if k == 0 {
+            return false;
+        }
+        k -= 1;
+    }
+    matches!(
+        k.checked_sub(1).and_then(|at| ident(toks.get(at))),
+        Some("lock" | "read" | "write" | "wait" | "wait_timeout")
+    )
+}
+
+/// `.expect(..)` is sanctioned when the argument is a string-literal
+/// invariant message, or when the call is a `Result`-returning parser-style
+/// method whose value is immediately propagated with `?`.
+fn expect_is_sanctioned(toks: &[Tok], open: usize) -> bool {
+    if matches!(toks.get(open + 1), Some(Tok { kind: TokKind::Str(_), .. })) {
+        return true;
+    }
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < toks.len() {
+        if punct(toks.get(k), b'(') {
+            depth += 1;
+        } else if punct(toks.get(k), b')') {
+            depth -= 1;
+            if depth == 0 {
+                return punct(toks.get(k + 1), b'?');
+            }
+        }
+        k += 1;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// seed-tag: the workspace-wide tag registry
+// ---------------------------------------------------------------------------
+
+/// One `*_TAG` constant extracted from source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagEntry {
+    pub name: String,
+    pub file: String,
+    pub line: u32,
+    /// The declared type (`u64` is required).
+    pub ty: String,
+    /// The parsed value; `None` when the literal didn't parse as an integer.
+    pub value: Option<u64>,
+    /// Suppressed via `mp-lint: allow(seed-tag)` at the declaration.
+    pub allowed: bool,
+}
+
+impl TagEntry {
+    /// The top-16-bit stream-family lane.
+    pub fn lane(&self) -> Option<u64> {
+        self.value.map(|v| v >> 48)
+    }
+}
+
+/// Extracts every `const <NAME>_TAG: <ty> = <int>;` from one file
+/// (test regions excluded — seed tags are production constants).
+pub fn collect_tags(path: &str, file: &SourceFile) -> Vec<TagEntry> {
+    let regions = test_regions(file);
+    let toks = &file.toks;
+    let mut tags = Vec::new();
+    for i in 0..toks.len() {
+        if ident(toks.get(i)) != Some("const") {
+            continue;
+        }
+        let Some(name) = ident(toks.get(i + 1)) else { continue };
+        if !name.ends_with("_TAG") {
+            continue;
+        }
+        if !punct(toks.get(i + 2), b':') {
+            continue;
+        }
+        let Some(ty) = ident(toks.get(i + 3)) else { continue };
+        if !punct(toks.get(i + 4), b'=') {
+            continue;
+        }
+        let Some(Tok { kind: TokKind::Num(literal), line }) = toks.get(i + 5) else {
+            continue;
+        };
+        if regions.iter().any(|(lo, hi)| (*lo..=*hi).contains(line)) {
+            continue;
+        }
+        tags.push(TagEntry {
+            name: name.to_string(),
+            file: path.to_string(),
+            line: *line,
+            ty: ty.to_string(),
+            value: parse_int(literal),
+            allowed: file.allows_rule(*line, SEED_TAG),
+        });
+    }
+    tags
+}
+
+fn parse_int(literal: &str) -> Option<u64> {
+    let text: String = literal.chars().filter(|c| *c != '_').collect();
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else if let Some(oct) = text.strip_prefix("0o") {
+        u64::from_str_radix(oct, 8).ok()
+    } else if let Some(bin) = text.strip_prefix("0b") {
+        u64::from_str_radix(bin, 2).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+/// Checks the extracted registry: 64-bit width, pairwise-distinct values,
+/// and non-overlapping, non-zero high-lane (top-16-bit) prefixes.
+pub fn check_tags(tags: &[TagEntry]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut emit = |tag: &TagEntry, message: String| {
+        diags.push(Diagnostic {
+            rule: SEED_TAG,
+            file: tag.file.clone(),
+            line: tag.line,
+            message,
+        });
+    };
+    let live: Vec<&TagEntry> = tags.iter().filter(|t| !t.allowed).collect();
+    for tag in &live {
+        if tag.ty != "u64" {
+            emit(
+                tag,
+                format!(
+                    "`{}` is declared `{}`; seed tags must be u64 so the splitmix \
+                     stream derivation keeps its full keyspace",
+                    tag.name, tag.ty
+                ),
+            );
+        }
+        match tag.value {
+            None => emit(tag, format!("`{}` has a value the lint cannot parse", tag.name)),
+            Some(value) if value >> 48 == 0 => emit(
+                tag,
+                format!(
+                    "`{}` (0x{value:016x}) has no high-lane prefix; the top 16 bits \
+                     identify the seed-stream family",
+                    tag.name
+                ),
+            ),
+            Some(_) => {}
+        }
+    }
+    for (i, a) in live.iter().enumerate() {
+        for b in live.iter().skip(i + 1) {
+            let (Some(va), Some(vb)) = (a.value, b.value) else { continue };
+            if va == vb {
+                emit(
+                    b,
+                    format!("`{}` duplicates the value of `{}` (0x{va:016x})", b.name, a.name),
+                );
+            } else if va >> 48 == vb >> 48 && va >> 48 != 0 {
+                emit(
+                    b,
+                    format!(
+                        "`{}` shares high lane 0x{:04x} with `{}`; stream families must \
+                         not overlap",
+                        b.name,
+                        vb >> 48,
+                        a.name
+                    ),
+                );
+            }
+        }
+    }
+    diags
+}
+
+// ---------------------------------------------------------------------------
+// doc-sync: protocol codes in PROTOCOL.md, CLI flags in README.md
+// ---------------------------------------------------------------------------
+
+/// One item whose value must appear in a document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocItem {
+    pub name: String,
+    pub value: String,
+    pub file: String,
+    pub line: u32,
+    pub allowed: bool,
+}
+
+/// Extracts `const NAME: &str = "value";` error codes (the
+/// `protocol::codes` table).
+pub fn collect_error_codes(path: &str, file: &SourceFile) -> Vec<DocItem> {
+    let toks = &file.toks;
+    let mut items = Vec::new();
+    for i in 0..toks.len() {
+        if ident(toks.get(i)) != Some("const") {
+            continue;
+        }
+        let Some(name) = ident(toks.get(i + 1)) else { continue };
+        if !punct(toks.get(i + 2), b':') || !punct(toks.get(i + 3), b'&') {
+            continue;
+        }
+        if ident(toks.get(i + 4)) != Some("str") || !punct(toks.get(i + 5), b'=') {
+            continue;
+        }
+        let Some(Tok { kind: TokKind::Str(value), line }) = toks.get(i + 6) else {
+            continue;
+        };
+        items.push(DocItem {
+            name: name.to_string(),
+            value: value.clone(),
+            file: path.to_string(),
+            line: *line,
+            allowed: file.allows_rule(*line, DOC_SYNC),
+        });
+    }
+    items
+}
+
+/// Extracts every `"--flag"` string literal (the `parse_args` vocabulary;
+/// first occurrence wins).
+pub fn collect_cli_flags(path: &str, file: &SourceFile) -> Vec<DocItem> {
+    let mut items: Vec<DocItem> = Vec::new();
+    for tok in &file.toks {
+        let TokKind::Str(value) = &tok.kind else { continue };
+        let Some(body) = value.strip_prefix("--") else { continue };
+        if body.is_empty()
+            || !body
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+        {
+            continue;
+        }
+        if items.iter().any(|item| &item.value == value) {
+            continue;
+        }
+        items.push(DocItem {
+            name: value.clone(),
+            value: value.clone(),
+            file: path.to_string(),
+            line: tok.line,
+            allowed: file.allows_rule(tok.line, DOC_SYNC),
+        });
+    }
+    items
+}
+
+/// Checks that every item's value appears verbatim in `doc`.
+pub fn check_docs(items: &[DocItem], doc: &str, doc_name: &str, what: &str) -> Vec<Diagnostic> {
+    items
+        .iter()
+        .filter(|item| !item.allowed && !doc.contains(&item.value))
+        .map(|item| Diagnostic {
+            rule: DOC_SYNC,
+            file: item.file.clone(),
+            line: item.line,
+            message: format!("{what} `{}` is not documented in {doc_name}", item.value),
+        })
+        .collect()
+}

@@ -1,0 +1,383 @@
+//! A minimal comment- and string-aware Rust tokenizer.
+//!
+//! Same hand-rolled byte-cursor idiom as `parasite::json`: no `syn`, no
+//! regex, no dependencies — just enough lexical structure for the lint rules
+//! to see identifiers, literals and punctuation while comment text and
+//! string contents can never masquerade as code. The lexer is total: any
+//! byte sequence (including truncated literals and stray non-ASCII bytes)
+//! tokenizes without panicking, a property pinned by a proptest.
+
+/// One lexical token. String/char literal *contents* are carried for the
+/// rules that need them (doc-sync flag extraction); comments are not tokens
+/// but feed the `mp-lint: allow(...)` suppression table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A numeric literal, verbatim (`0x5ea7_0000_0000_0000`, `1.25`, ...).
+    Num(String),
+    /// A string literal's unescaped-ish content (escape sequences are kept
+    /// as their trailing byte; good enough to recognise `--flag` shapes and
+    /// protocol code values, which contain no escapes).
+    Str(String),
+    /// A character or byte literal (content never needed by any rule).
+    Char,
+    /// A single punctuation byte (`:`, `.`, `!`, `#`, ...).
+    Punct(u8),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    pub line: u32,
+    pub kind: TokKind,
+}
+
+/// The tokenized view of one source file.
+#[derive(Debug, Clone, Default)]
+pub struct SourceFile {
+    pub toks: Vec<Tok>,
+    /// `(line, rule)` pairs collected from `// mp-lint: allow(<rule>)`
+    /// comments. A comma-separated list allows several rules at once.
+    pub allows: Vec<(u32, String)>,
+}
+
+impl SourceFile {
+    /// True when `rule` is suppressed at `line`: the allow comment may sit
+    /// on the flagged line itself or on the line directly above it.
+    pub fn allows_rule(&self, line: u32, rule: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|(at, name)| name == rule && (*at == line || at.saturating_add(1) == line))
+    }
+}
+
+/// Tokenizes `src`. Never panics, for any input.
+pub fn tokenize(src: &str) -> SourceFile {
+    let mut lexer = Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: SourceFile::default(),
+    };
+    lexer.run();
+    lexer.out
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: SourceFile,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, line: u32, kind: TokKind) {
+        self.out.toks.push(Tok { line, kind });
+    }
+
+    fn run(&mut self) {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string_literal(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' if self.raw_string_ahead(0) => self.raw_string(0),
+                b'r' if self.peek(1) == Some(b'#') && self.peek(2).is_some_and(is_ident_start) => {
+                    // Raw identifier `r#ident`.
+                    self.pos += 2;
+                    self.ident();
+                }
+                b'b' if self.peek(1) == Some(b'"') => {
+                    // Byte string: lex the body exactly like a string.
+                    self.pos += 1;
+                    self.string_literal();
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 1;
+                    self.char_literal();
+                }
+                b'b' if self.peek(1) == Some(b'r') && self.raw_string_ahead(1) => {
+                    self.pos += 1;
+                    self.raw_string(0);
+                }
+                _ if is_ident_start(b) => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => {
+                    self.push(self.line, TokKind::Punct(b));
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(self.line, TokKind::Ident(text));
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if is_ident_continue(b) {
+                self.pos += 1;
+            } else if b == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit()) {
+                // `1.25` continues the literal; `0..n` leaves the range
+                // punctuation alone.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(self.line, TokKind::Num(text));
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.peek(0).is_some_and(|b| b != b'\n') {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]);
+        scan_allow(&text, self.line, &mut self.out.allows);
+    }
+
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while let Some(b) = self.peek(0) {
+            if b == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if b == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                if b == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.pos += 1;
+        let mut content = Vec::new();
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    if let Some(escaped) = self.peek(1) {
+                        content.push(escaped);
+                        if escaped == b'\n' {
+                            self.line += 1;
+                        }
+                    }
+                    self.pos = (self.pos + 2).min(self.bytes.len());
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    content.push(b'\n');
+                    self.pos += 1;
+                }
+                _ => {
+                    content.push(b);
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&content).into_owned();
+        self.push(line, TokKind::Str(text));
+    }
+
+    /// True when the bytes at `pos + offset` start a raw string: `r` followed
+    /// by zero or more `#` and then a `"`.
+    fn raw_string_ahead(&self, offset: usize) -> bool {
+        let mut ahead = offset + 1;
+        while self.peek(ahead) == Some(b'#') {
+            ahead += 1;
+        }
+        self.peek(ahead) == Some(b'"')
+    }
+
+    fn raw_string(&mut self, _offset: usize) {
+        let line = self.line;
+        self.pos += 1; // past `r`
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // past the opening quote
+        let start = self.pos;
+        let mut end = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'"' && (0..hashes).all(|i| self.peek(1 + i) == Some(b'#')) {
+                end = self.pos;
+                self.pos += 1 + hashes;
+                break;
+            }
+            if b == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+            end = self.pos;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..end.min(self.bytes.len())]);
+        self.push(line, TokKind::Str(text.into_owned()));
+    }
+
+    fn char_or_lifetime(&mut self) {
+        // `'a` / `'static` are lifetimes (no closing quote); `'a'`, `'\n'`
+        // are char literals. A single ident byte followed by `'` is a char.
+        if self.peek(1).is_some_and(is_ident_start) && self.peek(2) != Some(b'\'') {
+            self.pos += 1;
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.pos += 1;
+            }
+            return;
+        }
+        self.char_literal();
+    }
+
+    fn char_literal(&mut self) {
+        let line = self.line;
+        self.pos += 1;
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.pos = (self.pos + 2).min(self.bytes.len()),
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                // A newline means the quote was something malformed; stop so
+                // line accounting stays intact.
+                b'\n' => break,
+                _ => self.pos += 1,
+            }
+        }
+        self.push(line, TokKind::Char);
+    }
+}
+
+/// Parses `mp-lint: allow(rule-a, rule-b)` out of one line comment's text.
+fn scan_allow(text: &str, line: u32, allows: &mut Vec<(u32, String)>) {
+    let Some(at) = text.find("mp-lint:") else {
+        return;
+    };
+    let rest = &text[at + "mp-lint:".len()..];
+    let Some(open) = rest.find("allow(") else {
+        return;
+    };
+    let rest = &rest[open + "allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return;
+    };
+    for rule in rest[..close].split(',') {
+        let rule = rule.trim();
+        if !rule.is_empty() {
+            allows.push((line, rule.to_string()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(name) => Some(name),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+            // HashMap in a comment
+            /* thread::spawn /* nested */ still comment */
+            let s = "Instant::now() in a string";
+            let r = r#"SystemTime in a raw string"#;
+            let real = HashMap::new();
+        "##;
+        let names = idents(src);
+        assert!(names.contains(&"HashMap".to_string()));
+        assert!(!names.contains(&"thread".to_string()));
+        assert!(!names.contains(&"Instant".to_string()));
+        assert!(!names.contains(&"SystemTime".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_rest_of_the_line() {
+        let names = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(names.contains(&"str".to_string()));
+        assert!(names.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn char_literals_do_not_break_pairing() {
+        let names = idents("let q = '\"'; let after = 1;");
+        assert!(names.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn allow_comments_are_collected_with_lines() {
+        let src = "let a = 1;\n// mp-lint: allow(nondet-iter, wallclock)\nlet b = 2;\n";
+        let file = tokenize(src);
+        assert!(file.allows_rule(2, "nondet-iter"));
+        assert!(file.allows_rule(3, "wallclock"), "allow covers the next line");
+        assert!(!file.allows_rule(1, "nondet-iter"));
+        assert!(!file.allows_rule(3, "thread-spawn"));
+    }
+
+    #[test]
+    fn truncated_literals_do_not_panic() {
+        for src in ["\"unterminated", "r#\"unterminated", "'", "b'", "/* open", "0x", "r#"] {
+            let _ = tokenize(src);
+        }
+    }
+
+    #[test]
+    fn numeric_literals_keep_underscores_and_hex() {
+        let file = tokenize("const T: u64 = 0x5ea7_0000_0000_0000;");
+        assert!(file
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num("0x5ea7_0000_0000_0000".to_string())));
+    }
+}

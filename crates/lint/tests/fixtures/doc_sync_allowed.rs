@@ -1,0 +1,9 @@
+// Fixture: the same undocumented items, explicitly suppressed.
+pub mod codes {
+    // mp-lint: allow(doc-sync)
+    pub const PHANTOM: &str = "phantom_failure";
+}
+
+pub fn parse_args(arg: &str) -> bool {
+    matches!(arg, "--phantom-mode") // mp-lint: allow(doc-sync)
+}

@@ -1,0 +1,8 @@
+// Fixture: a protocol error code and a CLI flag that no document mentions.
+pub mod codes {
+    pub const PHANTOM: &str = "phantom_failure";
+}
+
+pub fn parse_args(arg: &str) -> bool {
+    matches!(arg, "--phantom-mode")
+}

@@ -1,0 +1,17 @@
+// Fixture: the same iteration sites, each suppressed with an allow comment.
+use std::collections::{HashMap, HashSet};
+
+pub fn render(totals: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    // The values are summed, so order cannot leak. mp-lint: allow(nondet-iter)
+    for (name, count) in totals {
+        out.push_str(&format!("{name}={count}\n"));
+    }
+    let seen: HashSet<String> = HashSet::new();
+    let first = seen.iter().next().cloned(); // mp-lint: allow(nondet-iter)
+    out.push_str(first.as_deref().unwrap_or(""));
+    // mp-lint: allow(nondet-iter)
+    let keys: Vec<&String> = totals.keys().collect();
+    out.push_str(&keys.len().to_string());
+    out
+}

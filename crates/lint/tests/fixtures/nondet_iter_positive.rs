@@ -1,0 +1,15 @@
+// Fixture: HashMap/HashSet iteration orders are nondeterministic.
+use std::collections::{HashMap, HashSet};
+
+pub fn render(totals: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, count) in totals {
+        out.push_str(&format!("{name}={count}\n"));
+    }
+    let seen: HashSet<String> = HashSet::new();
+    let first = seen.iter().next().cloned();
+    out.push_str(first.as_deref().unwrap_or(""));
+    let keys: Vec<&String> = totals.keys().collect();
+    out.push_str(&keys.len().to_string());
+    out
+}

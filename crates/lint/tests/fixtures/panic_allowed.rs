@@ -1,0 +1,21 @@
+// Fixture: sanctioned panic forms plus explicit allows.
+use std::sync::Mutex;
+
+pub fn head(values: &[u64], guard: &Mutex<u64>) -> u64 {
+    // A documented invariant message makes expect sanctioned.
+    let first = values.first().expect("head called on a non-empty slice");
+    // Lock poisoning propagates the panic of another thread: sanctioned.
+    let held = guard.lock().unwrap();
+    // An explicitly suppressed bare unwrap. mp-lint: allow(panic-discipline)
+    let again = values.last().unwrap();
+    first + *held + again
+}
+
+pub fn classify(kind: u8) -> &'static str {
+    match kind {
+        0 => "client",
+        1 => "access-point",
+        // Callers can only construct 0 or 1. mp-lint: allow(panic-discipline)
+        _ => unreachable!("kinds are validated at parse time"),
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: panic discipline violations in a library crate.
+pub fn head(values: &[u64]) -> u64 {
+    let first = values.first().unwrap();
+    if *first == 0 {
+        panic!("zero is not a valid head");
+    }
+    *first
+}
+
+pub fn classify(kind: u8) -> &'static str {
+    match kind {
+        0 => "client",
+        1 => "access-point",
+        _ => unreachable!("kinds are validated at parse time"),
+    }
+}

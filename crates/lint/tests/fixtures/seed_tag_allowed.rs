@@ -1,0 +1,9 @@
+// Fixture: the same constants, each excluded from the registry checks.
+// mp-lint: allow(seed-tag)
+pub const ALPHA_TAG: u64 = 0xaaaa_0000_0000_0000;
+// mp-lint: allow(seed-tag)
+pub const BETA_TAG: u64 = 0xaaaa_1111_0000_0000;
+// mp-lint: allow(seed-tag)
+pub const GAMMA_TAG: u32 = 0x1234_5678;
+// mp-lint: allow(seed-tag)
+pub const DELTA_TAG: u64 = 0xaaaa_0000_0000_0000;

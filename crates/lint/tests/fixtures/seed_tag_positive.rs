@@ -1,0 +1,7 @@
+// Fixture: seed-tag registry violations.
+// ALPHA and BETA share the 0xaaaa high lane; GAMMA is not 64-bit wide
+// (and its top 16 bits are zero); DELTA duplicates ALPHA's value.
+pub const ALPHA_TAG: u64 = 0xaaaa_0000_0000_0000;
+pub const BETA_TAG: u64 = 0xaaaa_1111_0000_0000;
+pub const GAMMA_TAG: u32 = 0x1234_5678;
+pub const DELTA_TAG: u64 = 0xaaaa_0000_0000_0000;

@@ -1,0 +1,7 @@
+// Fixture: the same spawn, suppressed as a sanctioned pool worker.
+pub fn fan_out(jobs: Vec<u64>) -> Vec<std::thread::JoinHandle<u64>> {
+    jobs.into_iter()
+        // Joined before return; part of the sized pool. mp-lint: allow(thread-spawn)
+        .map(|job| std::thread::spawn(move || job * 2))
+        .collect()
+}

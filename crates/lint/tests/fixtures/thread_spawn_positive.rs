@@ -1,0 +1,6 @@
+// Fixture: ad-hoc thread creation outside the sanctioned pools.
+pub fn fan_out(jobs: Vec<u64>) -> Vec<std::thread::JoinHandle<u64>> {
+    jobs.into_iter()
+        .map(|job| std::thread::spawn(move || job * 2))
+        .collect()
+}

@@ -1,0 +1,11 @@
+// Fixture: the same wall-clock reads, suppressed as supervision code.
+pub fn stamp() -> (std::time::Instant, u64) {
+    // Supervision deadline, never feeds results. mp-lint: allow(wallclock)
+    let started = std::time::Instant::now();
+    // mp-lint: allow(wallclock)
+    let wall = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    (started, wall)
+}

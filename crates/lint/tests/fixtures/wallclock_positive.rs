@@ -1,0 +1,9 @@
+// Fixture: wall-clock reads outside supervision code.
+pub fn stamp() -> (std::time::Instant, u64) {
+    let started = std::time::Instant::now();
+    let wall = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    (started, wall)
+}

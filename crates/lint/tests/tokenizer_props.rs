@@ -1,0 +1,40 @@
+//! Property coverage: the tokenizer is total. It must never panic, whatever
+//! bytes it is handed — truncated literals, stray quotes, unterminated
+//! comments, invalid UTF-8 (lossily decoded), deeply nested block comments.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn tokenizer_never_panics_on_arbitrary_bytes(bytes in vec(any::<u8>(), 0..2048)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let file = mp_lint::tokens::tokenize(&src);
+        // Line numbers stay within the input; a panic-free lie about spans
+        // would poison every downstream diagnostic.
+        let lines = src.bytes().filter(|b| *b == b'\n').count() as u32 + 1;
+        for tok in &file.toks {
+            prop_assert!(tok.line >= 1 && tok.line <= lines);
+        }
+    }
+
+    #[test]
+    fn rule_engine_never_panics_on_arbitrary_bytes(bytes in vec(any::<u8>(), 0..2048)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let file = mp_lint::tokens::tokenize(&src);
+        let _ = mp_lint::rules::lint_file("crates/core/src/fuzz.rs", &file);
+        let _ = mp_lint::rules::check_tags(&mp_lint::rules::collect_tags(
+            "crates/core/src/fuzz.rs",
+            &file,
+        ));
+    }
+
+    #[test]
+    fn tokenizer_is_deterministic(bytes in vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let a = mp_lint::tokens::tokenize(&src);
+        let b = mp_lint::tokens::tokenize(&src);
+        prop_assert_eq!(a.toks, b.toks);
+        prop_assert_eq!(a.allows, b.allows);
+    }
+}

@@ -1,0 +1,43 @@
+//! The lint pass runs in-process over this very workspace: the repository
+//! must stay diagnostic-free, and the statically-extracted seed-tag registry
+//! must agree with the runtime registry the collision test sweeps.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint/../../ = the repository root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let report = mp_lint::run_workspace(&workspace_root()).expect("lint pass runs");
+    assert!(
+        report.clean(),
+        "the workspace must lint clean; fix or `mp-lint: allow(...)` each finding:\n{}",
+        report.render_text(true)
+    );
+    assert!(report.files_scanned > 50, "the walker found the workspace sources");
+}
+
+#[test]
+fn static_registry_agrees_with_the_runtime_registry() {
+    // mp-lint extracts `*_TAG` constants from source; the runtime exposes
+    // them as `SEED_TAG_REGISTRY` for the collision sweep. The two views
+    // must be the same set of (name, value) pairs, or one side has drifted.
+    let report = mp_lint::run_workspace(&workspace_root()).expect("lint pass runs");
+    let lint_view: BTreeSet<(String, u64)> = report
+        .registry
+        .iter()
+        .map(|tag| (tag.name.clone(), tag.value.expect("registered tags parse")))
+        .collect();
+    let runtime_view: BTreeSet<(String, u64)> = parasite::experiments::SEED_TAG_REGISTRY
+        .iter()
+        .map(|(name, value)| (name.to_string(), *value))
+        .collect();
+    assert_eq!(
+        lint_view, runtime_view,
+        "statically-extracted seed tags diverge from parasite::experiments::SEED_TAG_REGISTRY"
+    );
+}

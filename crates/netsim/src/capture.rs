@@ -15,7 +15,8 @@
 use crate::packet::Packet;
 use crate::time::Instant;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use crate::fasthash::FxHashMap;
+use std::collections::VecDeque;
 use std::fmt;
 use std::str::FromStr;
 
@@ -147,7 +148,10 @@ fn truncate(s: &str, max: usize) -> String {
 pub struct Trace {
     mode: TraceMode,
     names: Vec<String>,
-    name_index: HashMap<String, NameId>,
+    // Interning table: keyed lookups only (the ordered view is `names`).
+    // FxHashMap has no per-process RandomState, so even its internal layout
+    // is reproducible across runs.
+    name_index: FxHashMap<String, NameId>,
     events: VecDeque<TraceEvent>,
     summary: TraceSummary,
     /// Events the *recorder* discarded (ring overflow, summary-only mode or a
@@ -182,7 +186,7 @@ impl Trace {
         Trace {
             mode,
             names: Vec::new(),
-            name_index: HashMap::new(),
+            name_index: FxHashMap::default(),
             events: VecDeque::new(),
             summary: TraceSummary::default(),
             recorder_dropped: 0,

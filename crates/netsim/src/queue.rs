@@ -242,6 +242,7 @@ impl CalendarQueue {
                     return Some(key);
                 }
             }
+            // The wheel_len counter is kept in lockstep with the buckets. mp-lint: allow(panic-discipline)
             unreachable!("wheel_len > 0 but every bucket within the horizon is empty");
         }
         let Reverse(key) = self.overflow.pop()?;

@@ -188,17 +188,23 @@ impl Daemon {
             conn_threads: Mutex::new(Vec::new()),
         });
 
+        // The daemon's listener/worker pool is a sanctioned thread pool:
+        // every thread is joined on shutdown and no simulation state is
+        // shared across them except through the run queue.
         let mut threads = Vec::new();
         {
             let shared = Arc::clone(&shared);
+            // mp-lint: allow(thread-spawn)
             threads.push(std::thread::spawn(move || accept_unix(&shared, unix)));
         }
         if let Some(listener) = tcp {
             let shared = Arc::clone(&shared);
+            // mp-lint: allow(thread-spawn)
             threads.push(std::thread::spawn(move || accept_tcp(&shared, listener)));
         }
         for _ in 0..options.workers.max(1) {
             let shared = Arc::clone(&shared);
+            // mp-lint: allow(thread-spawn)
             threads.push(std::thread::spawn(move || worker_loop(&shared)));
         }
         Ok(Daemon { inner: shared, threads, tcp_addr })
@@ -298,6 +304,8 @@ impl Connection {
 fn spawn_connection(shared: &Arc<Shared>, connection: io::Result<Connection>) {
     let Ok(connection) = connection else { return };
     let shared_for_thread = Arc::clone(shared);
+    // Per-connection thread of the sanctioned daemon pool, tracked in
+    // conn_threads and joined on shutdown. mp-lint: allow(thread-spawn)
     let handle = std::thread::spawn(move || handle_connection(&shared_for_thread, connection));
     shared.conn_threads.lock().unwrap().push(handle);
 }

@@ -11,7 +11,7 @@ use crate::taxonomy::CacheInstance;
 use mp_httpsim::caching::{CachePolicy, Freshness};
 use mp_httpsim::message::{Request, Response, StatusCode};
 use mp_httpsim::url::{Scheme, Url};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Statistics a shared cache keeps about its own behaviour.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -31,7 +31,9 @@ pub struct SharedCache<U> {
     instance: CacheInstance,
     upstream: U,
     policy: CachePolicy,
-    store: HashMap<String, (Response, u64)>,
+    // The mp-lint audit found only keyed lookups here (no iteration), but
+    // an ordered store keeps any future drain deterministic by construction.
+    store: BTreeMap<String, (Response, u64)>,
     now_secs: u64,
     /// Whether this deployment terminates/inspects TLS so HTTPS responses are
     /// visible to it (e.g. an enterprise web filter doing interception or a
@@ -60,7 +62,7 @@ impl<U: mp_httpsim::transport::Exchange> SharedCache<U> {
             instance,
             upstream,
             policy: CachePolicy::shared_cache(),
-            store: HashMap::new(),
+            store: BTreeMap::new(),
             now_secs: 0,
             sees_https,
             stats: SharedCacheStats::default(),

@@ -12,7 +12,7 @@ use crate::population::Population;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The three series plotted in Figure 3, as percentages of all sites.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -63,8 +63,9 @@ pub struct PersistencyPoint {
 pub struct SiteSnapshot {
     /// The site host.
     pub host: String,
-    /// Observed objects: path → content hash.
-    pub objects: HashMap<String, u64>,
+    /// Observed objects: path → content hash. Ordered so snapshot
+    /// comparisons and any future serialisation are deterministic.
+    pub objects: BTreeMap<String, u64>,
 }
 
 /// The crawler: replays `days` daily snapshots over a copy of a population.

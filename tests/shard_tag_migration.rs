@@ -1,0 +1,105 @@
+//! Regression pins for the `SHARD_TAG` migration.
+//!
+//! PR 10 normalised `SHARD_TAG` from the original 32-bit `0x5eed_5a4d` to
+//! the 64-bit high-lane convention (`0x5a4d_0000_0000_0000`) shared by
+//! every tag in [`parasite::experiments::SEED_TAG_REGISTRY`]. The change
+//! re-keys the shard seed streams, so these tests pin the two properties
+//! that make it a safe migration:
+//!
+//! 1. the classic sharded seed-sweep artifact is byte-identical to the
+//!    pre-migration golden (shard outcomes are seed-independent at
+//!    jitter 0 — the race is decided by deterministic timing);
+//! 2. a checkpoint written *before* the migration still resumes, because
+//!    the config fingerprint never included shard scheduling, and the
+//!    resumed report is byte-identical to the pre-migration run.
+//!
+//! The goldens were captured from the release binary at the commit
+//! immediately before the migration.
+
+use parasite::experiments::{
+    run_campaign_with_checkpoint, ExperimentId, Registry, RunConfig, SEED_TAG_REGISTRY,
+};
+use parasite::json::ToJson;
+
+/// `paper-report --json --only campaign_fleet --fleet-clients 2048
+/// --fleet-aps 8 --fleet-shards 4`, artifact `data` object, pre-migration.
+const GOLDEN_SHARDED_DATA: &str = "{\"shards\":4,\"aps\":8,\"clients\":2048,\
+\"infected_clients\":1792,\"clean_clients\":256,\"failed_aps\":0,\
+\"infection_rate\":0.875,\"total_events\":17920,\"payload_bytes\":921344,\
+\"injected_events\":1792,\"pending_bytes_dropped\":0}";
+
+/// The same capture for the 3-day churn campaign (`--fleet-days 3
+/// --fleet-churn 0.2 --fleet-shards 4`), pre-migration.
+const GOLDEN_MULTIDAY_DATA: &str = "{\"shards\":4,\"aps\":8,\"clients\":2048,\
+\"infected_clients\":1792,\"clean_clients\":256,\"failed_aps\":0,\
+\"infection_rate\":0.875,\"total_events\":28470,\"payload_bytes\":1389942,\
+\"injected_events\":2566,\"pending_bytes_dropped\":0,\"days\":[\
+{\"day\":1,\"departures\":417,\"arrivals\":417,\"cache_clears\":0,\
+\"object_rotated\":false,\"rotation_cured\":0,\"exposed\":2048,\
+\"newly_infected\":1792,\"failed_aps\":0,\"infected\":1792,\"clean\":256,\
+\"events\":17920},\
+{\"day\":2,\"departures\":430,\"arrivals\":430,\"cache_clears\":16,\
+\"object_rotated\":false,\"rotation_cured\":0,\"exposed\":660,\
+\"newly_infected\":404,\"failed_aps\":0,\"infected\":1792,\"clean\":256,\
+\"events\":5428},\
+{\"day\":3,\"departures\":405,\"arrivals\":405,\"cache_clears\":20,\
+\"object_rotated\":false,\"rotation_cured\":0,\"exposed\":626,\
+\"newly_infected\":370,\"failed_aps\":0,\"infected\":1792,\"clean\":256,\
+\"events\":5122}]}";
+
+/// A complete v2 checkpoint written by the pre-migration binary for that
+/// 3-day campaign.
+const PRE_MIGRATION_CHECKPOINT: &str = include_str!("fixtures/pre_migration_checkpoint.json");
+
+fn fleet_config() -> RunConfig {
+    RunConfig {
+        fleet_clients: 2048,
+        fleet_aps: 8,
+        fleet_shards: 4,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn shard_tag_uses_the_high_lane_convention() {
+    let (_, tag) = SEED_TAG_REGISTRY
+        .iter()
+        .find(|(name, _)| *name == "SHARD_TAG")
+        .expect("SHARD_TAG is registered");
+    assert_eq!(tag >> 48, 0x5a4d, "top 16 bits identify the shard stream family");
+    assert_eq!(tag & 0xffff_ffff_ffff, 0, "the low lanes are reserved for indices");
+}
+
+#[test]
+fn sharded_sweep_is_byte_identical_to_the_pre_migration_golden() {
+    let artifact = Registry::get(ExperimentId::CampaignFleet)
+        .try_run(&fleet_config())
+        .expect("the sharded sweep runs");
+    assert_eq!(artifact.data.to_json().to_string(), GOLDEN_SHARDED_DATA);
+}
+
+#[test]
+fn multiday_campaign_is_byte_identical_to_the_pre_migration_golden() {
+    let config = RunConfig { fleet_days: 3, fleet_churn: 0.2, ..fleet_config() };
+    let artifact = Registry::get(ExperimentId::CampaignFleet)
+        .try_run(&config)
+        .expect("the multi-day campaign runs");
+    assert_eq!(artifact.data.to_json().to_string(), GOLDEN_MULTIDAY_DATA);
+}
+
+#[test]
+fn pre_migration_checkpoint_still_resumes_byte_identically() {
+    // The fingerprint covers the campaign's logical configuration, not the
+    // shard scheduling or the tag constants, so a checkpoint written by the
+    // old binary must be accepted verbatim and replay to the same report.
+    let path = std::env::temp_dir().join(format!(
+        "mp-shard-tag-migration-{}.json",
+        std::process::id()
+    ));
+    std::fs::write(&path, PRE_MIGRATION_CHECKPOINT).expect("checkpoint fixture written");
+    let config = RunConfig { fleet_days: 3, fleet_churn: 0.2, ..fleet_config() };
+    let result = run_campaign_with_checkpoint(&config, &path);
+    let _ = std::fs::remove_file(&path);
+    let result = result.expect("the pre-migration checkpoint is accepted");
+    assert_eq!(result.to_json().to_string(), GOLDEN_MULTIDAY_DATA);
+}
